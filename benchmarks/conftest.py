@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper.  Wall
+time (what pytest-benchmark measures) is the cost of running the
+simulation; the scientifically meaningful numbers are the *simulated*
+milliseconds, which are printed, written to ``benchmarks/results/`` and
+attached to the benchmark's ``extra_info``.
+"""
+
+import pytest
+
+
+def assert_close_to_paper(measured_ms, paper_ms, rel_tol=0.15,
+                          what=""):
+    """The shape criterion: within ``rel_tol`` of the published value."""
+    assert paper_ms * (1 - rel_tol) <= measured_ms <= paper_ms * (1 + rel_tol), \
+        "%s: measured %.1f ms vs paper %.1f ms (tolerance %.0f%%)" % (
+            what, measured_ms, paper_ms, rel_tol * 100)
+
+
+@pytest.fixture
+def publish(benchmark, capsys):
+    """Print a regenerated table and attach rows to the benchmark."""
+
+    def _publish(text, **extra):
+        with capsys.disabled():
+            print()
+            print(text)
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value
+
+    return _publish

@@ -1,0 +1,114 @@
+"""Ablation A7: .recovery files versus a CCS name server.
+
+Section 5 closes with the alternative: "The existence of name servers
+in the network could be used to aid in crash recovery. ... In this
+approach the assignment of the CCS could be better coordinated by
+network administrators to avoid possible bottlenecks."
+
+Both mechanisms are implemented; this ablation crashes the coordinator
+under each and measures (a) time until every surviving LPM agrees on
+the new coordinator, and (b) what happens when the coordination
+infrastructure itself is lost — the name server is a single point of
+failure that ``.recovery`` files (replicated on every host) do not
+have.
+"""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, install, spinner_spec
+from repro.bench.tables import write_result
+from repro.core.recovery import RecoveryState
+from repro.netsim import HostClass
+from repro.tracing import TraceEventType
+from repro.unixsim import World
+from repro.util import format_table
+
+HOSTS = ["alpha", "beta", "gamma", "nshost"]
+TUNING = dict(ccs_probe_interval_ms=5_000.0,
+              recovery_retry_interval_ms=5_000.0,
+              time_to_die_ms=600_000.0,
+              request_timeout_ms=8_000.0)
+
+
+def build(ccs_source):
+    if ccs_source == "name_server":
+        config = PPMConfig(ccs_source="name_server",
+                           name_server_host="nshost", **TUNING)
+    else:
+        config = PPMConfig(**TUNING)
+    world = World(seed=37, config=config)
+    for name in HOSTS:
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    if ccs_source == "name_server":
+        server = world.install_name_server("nshost")
+        server.administer("lfc", ["alpha", "beta", "gamma"])
+    else:
+        world.write_recovery_file("lfc", ["alpha", "beta", "gamma"])
+    client = PPMClient(world, "lfc", "alpha").connect()
+    for host in ("beta", "gamma"):
+        client.create_process("job-%s" % host, host=host,
+                              program=spinner_spec(None))
+    world.run_for(2_000.0)
+    return world
+
+
+def survivors_converged(world):
+    beta = world.lpms[("beta", "lfc")]
+    gamma = world.lpms[("gamma", "lfc")]
+    return (beta.ccs_host == "beta" and gamma.ccs_host == "beta"
+            and beta.recovery.state in (RecoveryState.ACTING_CCS,
+                                        RecoveryState.NORMAL)
+            and gamma.recovery.state is RecoveryState.NORMAL)
+
+
+def run_case(ccs_source):
+    world = build(ccs_source)
+    crash_at = world.now_ms
+    world.host("alpha").crash()
+    converged = world.run_until_true(lambda: survivors_converged(world),
+                                     timeout_ms=300_000.0)
+    convergence_ms = world.now_ms - crash_at if converged else None
+
+    # Second scenario: the coordination infrastructure dies too.
+    world2 = build(ccs_source)
+    world2.host("alpha").crash()
+    if ccs_source == "name_server":
+        world2.host("nshost").crash()
+    else:
+        # .recovery files are replicated on every host: losing one more
+        # ordinary machine changes nothing.
+        world2.host("nshost").crash()
+    world2.run_for(120_000.0)
+    infra_loss_recovered = survivors_converged(world2)
+    return {"mechanism": ccs_source,
+            "convergence_ms": convergence_ms,
+            "infra_loss_recovered": infra_loss_recovered}
+
+
+def run_ablation():
+    return [run_case("recovery_file"), run_case("name_server")]
+
+
+def test_ablation_ccs_source(benchmark, publish):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["CCS mechanism", "reconvergence after CCS crash (ms)",
+         "survives losing coordination host"],
+        [[r["mechanism"],
+          "%.0f" % r["convergence_ms"] if r["convergence_ms"] else "never",
+          "yes" if r["infra_loss_recovered"] else "NO"] for r in rows],
+        title="A7: .recovery files vs a CCS name server")
+    write_result("ablation_ccs_source.txt", table)
+    publish(table)
+
+    recovery_file, name_server = rows
+    # Both converge after a plain CCS crash.
+    assert recovery_file["convergence_ms"] is not None
+    assert name_server["convergence_ms"] is not None
+    # The replicated .recovery files shrug off an extra host loss; the
+    # name server is a single point of failure.
+    assert recovery_file["infra_loss_recovered"]
+    assert not name_server["infra_loss_recovered"]

@@ -1,0 +1,96 @@
+"""Ablation A2: the broadcast-retention time window.
+
+Section 4: "A scheme for not retransmitting old broadcast requests has
+been implemented using a signed timestamp ... The appropriate time
+window for retaining old broadcast requests is a configuration
+parameter whose optimum value will be derived from experience."
+
+This ablation derives that experience: on a cyclic overlay, a LOCATE
+broadcast for a nonexistent process keeps circulating whenever the
+retention window is shorter than the cycle's traversal time, multiplying
+forwards; a sufficient window suppresses the echo on first return.
+"""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, spinner_spec, install
+from repro.bench.tables import write_result
+from repro.tracing import TraceEventType
+from repro.unixsim import World
+from repro.netsim import HostClass
+from repro.util import format_table
+
+
+def build_ring(window_ms):
+    """Four LPMs in a ring (cycle) with the given retention window."""
+    config = PPMConfig(broadcast_dedup_window_ms=window_ms)
+    world = World(seed=9, config=config)
+    names = ["h0", "h1", "h2", "h3"]
+    for name in names:
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", ["h0"])
+    # Build ring edges h0-h1-h2-h3-h0 by creating one process across
+    # each edge from the right side.
+    clients = {name: PPMClient(world, "lfc", name).connect()
+               for name in names}
+    for src, dst in [("h0", "h1"), ("h1", "h2"), ("h2", "h3"),
+                     ("h3", "h0")]:
+        clients[src].create_process("edge-%s" % dst, host=dst,
+                                    program=spinner_spec(None))
+    return world, clients
+
+
+def run_case(window_ms):
+    world, clients = build_ring(window_ms)
+    before = world.recorder.count(TraceEventType.BROADCAST_FORWARDED)
+    lpm = world.lpms[("h0", "lfc")]
+    # LOCATE a process that exists nowhere: the broadcast floods the
+    # ring and, with a short window, its echo is re-accepted.
+    lpm.locate("h2", 9999, lambda reply: None, timeout_ms=4_000.0)
+    world.run_for(30_000.0)
+    forwards = world.recorder.count(
+        TraceEventType.BROADCAST_FORWARDED) - before
+    duplicates = sum(world.lpms[(name, "lfc")].broadcast.duplicates_dropped
+                     for name in ("h0", "h1", "h2", "h3"))
+    hop_limited = sum(world.lpms[(name, "lfc")].broadcast.hop_limited
+                      for name in ("h0", "h1", "h2", "h3"))
+    return forwards, duplicates, hop_limited
+
+
+def run_ablation():
+    rows = []
+    for window_ms in (0.0, 50.0, 200.0, 60_000.0):
+        forwards, duplicates, hop_limited = run_case(window_ms)
+        rows.append({"window_ms": window_ms, "forwards": forwards,
+                     "duplicates": duplicates,
+                     "hop_limited": hop_limited})
+    return rows
+
+
+def test_ablation_dedup_window(benchmark, publish):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["retention window (ms)", "broadcast forwards",
+         "duplicates dropped", "hop-limit kills"],
+        [[("%.0f" % r["window_ms"]), r["forwards"], r["duplicates"],
+          r["hop_limited"]] for r in rows],
+        title="A2: broadcast retention window on a 4-host ring "
+              "(one LOCATE broadcast)")
+    write_result("ablation_dedup_window.txt", table)
+    publish(table)
+
+    by_window = {r["window_ms"]: r for r in rows}
+    # A zero window never remembers: the request loops until the hop
+    # limit kills it.
+    assert by_window[0.0]["forwards"] > 3 * by_window[60_000.0]["forwards"]
+    assert by_window[0.0]["hop_limited"] > 0
+    # A window longer than the ring's traversal time suppresses every
+    # echo with no retransmissions.
+    assert by_window[60_000.0]["duplicates"] > 0
+    assert by_window[60_000.0]["hop_limited"] == 0
+    # Forward volume decreases monotonically with the window.
+    forwards = [r["forwards"] for r in rows]
+    assert forwards == sorted(forwards, reverse=True)

@@ -1,0 +1,111 @@
+"""Ablation A6: handler reuse inside the LPM.
+
+Section 6: "Since process creation in UNIX is relatively expensive,
+processes that have handled a request may be given further requests,
+rather than simply creating new processes."
+
+This ablation measures what reuse buys: the same burst of remote
+operations with the reuse pool enabled (the paper's design) versus a
+pool of size one combined with no idle handler kept (approximated by
+charging a spawn for every request via a cold pool), and the spawn/reuse
+counters under concurrent gathers.
+"""
+
+import pytest
+
+from repro import ControlAction, PPMClient, PPMConfig, install, spinner_spec
+from repro.bench.tables import write_result
+from repro.netsim import HostClass
+from repro.unixsim import World
+from repro.util import format_table
+
+OPS = 20
+
+
+def build(pool_max):
+    config = PPMConfig(handler_pool_max=pool_max)
+    world = World(seed=29, config=config)
+    for name in ("origin", "remote"):
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", ["origin"])
+    client = PPMClient(world, "lfc", "origin").connect()
+    gpid = client.create_process("target", host="remote",
+                                 program=spinner_spec(None))
+    return world, client, gpid
+
+
+def run_burst(pool_max, force_cold):
+    world, client, gpid = build(pool_max)
+    lpm = world.lpms[("origin", "lfc")]
+    start = world.now_ms
+    for _ in range(OPS):
+        for action in (ControlAction.STOP, ControlAction.CONTINUE):
+            if force_cold:
+                # A design without reuse: drop the pool before every
+                # request so each one pays process creation.
+                lpm.pool.shutdown()
+            client.control(gpid, action)
+    elapsed = world.now_ms - start
+    return {"elapsed_ms": elapsed, "per_op_ms": elapsed / (2 * OPS),
+            "spawned": lpm.pool.spawned, "reused": lpm.pool.reused}
+
+
+def run_ablation():
+    rows = []
+    rows.append(dict(run_burst(pool_max=8, force_cold=False),
+                     mode="reuse pool (paper design)"))
+    rows.append(dict(run_burst(pool_max=1, force_cold=True),
+                     mode="spawn per request"))
+    return rows
+
+
+def test_ablation_handler_reuse(benchmark, publish):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["dispatcher design", "per-op (ms)", "handlers spawned",
+         "requests reused"],
+        [[r["mode"], "%.1f" % r["per_op_ms"], r["spawned"], r["reused"]]
+         for r in rows],
+        title="A6: handler reuse vs spawn-per-request "
+              "(%d remote control ops)" % (2 * OPS))
+    write_result("ablation_handler_pool.txt", table)
+    publish(table)
+
+    reuse, cold = rows
+    # Reuse spawns once and reuses thereafter.
+    assert reuse["spawned"] <= 2
+    assert reuse["reused"] >= 2 * OPS - 2
+    # Spawn-per-request pays a fresh creation every time...
+    assert cold["spawned"] >= 2 * OPS
+    # ...which shows up directly in latency.
+    assert cold["per_op_ms"] > reuse["per_op_ms"] + 10.0
+
+
+def test_pool_concurrency_under_parallel_gathers(benchmark, publish):
+    """Concurrent gathers from several tools exercise multiple handlers
+    at once; the pool's peak stays within the configured bound."""
+    def run():
+        config = PPMConfig(handler_pool_max=4)
+        world = World(seed=33, config=config)
+        names = ["h%d" % i for i in range(5)]
+        for name in names:
+            world.add_host(name, HostClass.VAX_780)
+        world.ethernet()
+        world.add_user("lfc", 1001)
+        install(world)
+        world.write_recovery_file("lfc", ["h0"])
+        client = PPMClient(world, "lfc", "h0").connect()
+        for name in names[1:]:
+            client.create_process("job-%s" % name, host=name,
+                                  program=spinner_spec(None))
+        client.snapshot()
+        lpm = world.lpms[("h0", "lfc")]
+        return lpm.pool.peak_busy, lpm.pool.size()
+
+    peak, size = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("peak busy handlers: %d, pool size after: %d" % (peak, size))
+    assert peak >= 2  # the gather really did fan out concurrently
+    assert size <= 5  # bounded by config (+1 transient)

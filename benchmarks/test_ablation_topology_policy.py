@@ -1,0 +1,85 @@
+"""Ablation A3: on-demand versus full-mesh sibling graphs.
+
+Section 4: "The decision whether or not to propagate connection
+information between sibling LPMs in order to increase the connectivity
+of the communication graph is a function of the cost of maintaining
+connections and of the additional benefit of the connections."
+
+This ablation measures both sides on a chain-of-remotes workload: the
+full-mesh policy pays O(N^2) authenticated channels to buy flat
+snapshot latency; the paper's on-demand policy keeps O(N) channels and
+pays overlay depth at snapshot time.
+"""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, spinner_spec, install
+from repro.bench.tables import write_result
+from repro.netsim import HostClass
+from repro.unixsim import World
+from repro.util import format_table
+
+N_HOSTS = 6
+
+
+def build_chain_session(policy):
+    config = PPMConfig(topology_policy=policy)
+    world = World(seed=13, config=config)
+    names = ["h%d" % i for i in range(N_HOSTS)]
+    for name in names:
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", [names[0]])
+    # The computation spreads down a chain: each host's tool starts the
+    # next host's processes, so on-demand connectivity forms a path.
+    clients = {names[0]: PPMClient(world, "lfc", names[0]).connect()}
+    for src, dst in zip(names, names[1:]):
+        clients[src].create_process("edge-%s" % dst, host=dst,
+                                    program=spinner_spec(None))
+        clients[dst] = PPMClient(world, "lfc", dst).connect()
+    world.run_for(30_000.0)  # let the full-mesh policy finish closing
+    origin = clients[names[0]]
+    origin.snapshot()  # warm handlers
+    return world, origin, names
+
+
+def run_case(policy):
+    world, origin, names = build_chain_session(policy)
+    channels = sum(
+        len(world.lpms[(name, "lfc")].authenticated_siblings())
+        for name in names) // 2
+    start = world.sim.now_ms
+    forest = origin.snapshot(prune=False)
+    elapsed = world.sim.now_ms - start
+    assert len(forest) == N_HOSTS - 1
+    return channels, elapsed
+
+
+def run_ablation():
+    rows = []
+    for policy in ("on_demand", "full_mesh"):
+        channels, elapsed = run_case(policy)
+        rows.append({"policy": policy, "channels": channels,
+                     "snapshot_ms": elapsed})
+    return rows
+
+
+def test_ablation_topology_policy(benchmark, publish):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["policy", "authenticated channels", "snapshot (ms)"],
+        [[r["policy"], r["channels"], "%.1f" % r["snapshot_ms"]]
+         for r in rows],
+        title="A3: sibling-graph policy on a %d-host chain workload"
+              % N_HOSTS)
+    write_result("ablation_topology_policy.txt", table)
+    publish(table)
+
+    on_demand, full_mesh = rows
+    # On demand: a path (N-1 channels).  Full mesh: N(N-1)/2.
+    assert on_demand["channels"] == N_HOSTS - 1
+    assert full_mesh["channels"] == N_HOSTS * (N_HOSTS - 1) // 2
+    # The mesh buys snapshot latency: every LPM is one hop away.
+    assert full_mesh["snapshot_ms"] < 0.6 * on_demand["snapshot_ms"]

@@ -1,0 +1,55 @@
+"""Figure 5: the four PPM topologies used for the Table 3 snapshot
+measurements, rendered from the live overlay graphs.
+
+Processes are identified by ``<host name, pid>`` exactly as in the
+figure's caption.
+"""
+
+import pytest
+
+from repro.bench.scenarios import (
+    FIGURE5_TOPOLOGIES,
+    build_figure5_topology,
+    overlay_edges,
+)
+from repro.bench.tables import write_result
+from repro.tracing import render_forest, render_topology
+
+
+def build_all():
+    results = []
+    for topology in FIGURE5_TOPOLOGIES:
+        world, origin = build_figure5_topology(topology)
+        results.append((topology, world, origin))
+    return results
+
+
+def test_figure5_snapshot_configurations(benchmark, publish):
+    results = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    sections = []
+    for topology, world, origin in results:
+        edges = overlay_edges(world)
+        hosts = ["hostA"] + list(topology.remote_hosts)
+        sections.append(render_topology(
+            "%s: %s" % (topology.name, topology.description),
+            hosts, edges))
+        forest = origin.snapshot(prune=False)
+        sections.append(render_forest(forest))
+        sections.append("")
+
+        # Six user processes per remote host, none on the origin.
+        for host in topology.remote_hosts:
+            assert len(forest.by_host(host)) == 6
+        assert forest.by_host("hostA") == []
+        # The overlay shape is exactly the prescribed one.
+        assert set(edges) == {tuple(sorted(edge))
+                              for edge in topology.edges}
+        # Process identities render as <host name, pid>.
+        rendered = render_forest(forest)
+        assert "<%s," % topology.remote_hosts[0] in rendered
+
+    text = "\n".join(sections)
+    write_result("figure5.txt", text)
+    publish(text)
+    # The four topologies grow: 1, 2, 3, 4 remote hosts.
+    assert [len(t.remote_hosts) for t, _w, _o in results] == [1, 2, 3, 4]

@@ -1,0 +1,147 @@
+"""Figures 1-4: the paper's architecture figures, regenerated from live
+system state rather than drawn by hand.
+
+* Figure 1 — possible state of a PPM spanning three hosts (a process
+  genealogy crossing host boundaries, with an exited interior node);
+* Figure 2 — LPM creation steps ab initio (the four numbered steps
+  through inetd and pmd);
+* Figure 3 — all LPMs of a PPM maintain a secure reliable channel;
+* Figure 4 — the LPM's types of communication end points.
+"""
+
+import pytest
+
+from repro import (
+    HostClass,
+    PPMClient,
+    PersonalProcessManager,
+    World,
+    fork_tree_spec,
+    install,
+    spinner_spec,
+)
+from repro.bench.scenarios import overlay_edges
+from repro.bench.tables import write_result
+from repro.tracing import (
+    TraceEventType,
+    render_creation_steps,
+    render_endpoints,
+    render_forest,
+    render_topology,
+)
+
+
+def three_host_world(seed=3):
+    world = World(seed=seed)
+    for name in ("hostA", "hostB", "hostC"):
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", ["hostA"])
+    return world
+
+
+def test_figure1_genealogy_spanning_three_hosts(benchmark, publish):
+    def scenario():
+        world = three_host_world()
+        ppm = PersonalProcessManager(world, "lfc", "hostA").start()
+        root = ppm.create_process(
+            "coordinator",
+            program=fork_tree_spec([("local-worker", 20.0,
+                                     spinner_spec(None))],
+                                   duration_ms=400.0))
+        ppm.create_process("solver-b", host="hostB", parent=root,
+                           program=spinner_spec(None))
+        mid = ppm.create_process("relay-b", host="hostB", parent=root,
+                                 program=spinner_spec(None))
+        ppm.create_process("solver-c", host="hostC", parent=mid,
+                           program=spinner_spec(None))
+        world.run_for(2_000.0)  # coordinator exits; children live on
+        forest = ppm.snapshot()
+        return forest, root
+
+    forest, root = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    text = render_forest(forest)
+    write_result("figure1.txt", text)
+    from repro.tracing import forest_to_dot
+    write_result("figure1.dot", forest_to_dot(
+        forest, title="Figure 1: a PPM spanning three hosts"))
+    publish(text)
+    # The tree spans three hosts, hangs off one logical ancestor, and
+    # shows the exited coordinator because children remain alive.
+    assert forest.subtree_hosts(root) == {"hostA", "hostB", "hostC"}
+    assert forest.records[root].state == "exited"
+    assert not forest.is_forest()
+
+
+def test_figure2_lpm_creation_steps(benchmark, publish):
+    def scenario():
+        world = three_host_world()
+        PPMClient(world, "lfc", "hostA").connect()
+        return world
+
+    world = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    steps = world.recorder.select(TraceEventType.CREATION_STEP,
+                                  host="hostA")
+    text = render_creation_steps(steps)
+    write_result("figure2.txt", text)
+    publish(text)
+    assert [event.details["step"] for event in steps] == [1, 2, 3, 4]
+    actors = [event.details["actor"] for event in steps]
+    assert actors == ["inetd", "inetd", "pmd", "pmd"]
+    times = [event.time_ms for event in steps]
+    assert times == sorted(times)
+
+
+def test_figure3_authenticated_channel_graph(benchmark, publish):
+    def scenario():
+        world = three_host_world()
+        ppm = PersonalProcessManager(world, "lfc", "hostA").start()
+        ppm.create_process("j1", host="hostB", program=spinner_spec(None))
+        ppm.create_process("j2", host="hostC", program=spinner_spec(None))
+        client_b = PPMClient(world, "lfc", "hostB").connect()
+        client_b.create_process("j3", host="hostC",
+                                program=spinner_spec(None))
+        return world
+
+    world = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    edges = overlay_edges(world)
+    text = render_topology(
+        "Figure 3: all LPMs of a PPM maintain a secure reliable "
+        "communication channel", ["hostA", "hostB", "hostC"], edges)
+    write_result("figure3.txt", text)
+    from repro.tracing import topology_to_dot
+    write_result("figure3.dot", topology_to_dot(
+        ["hostA", "hostB", "hostC"], edges,
+        title="Figure 3: the authenticated channel mesh",
+        ccs_host="hostA"))
+    publish(text)
+    assert set(edges) == {("hostA", "hostB"), ("hostA", "hostC"),
+                          ("hostB", "hostC")}
+    # Every channel is authenticated on both sides.
+    for (host, _user), lpm in world.lpms.items():
+        for link in lpm.siblings.values():
+            assert link.authenticated
+
+
+def test_figure4_lpm_endpoint_types(benchmark, publish):
+    def scenario():
+        world = three_host_world()
+        ppm = PersonalProcessManager(world, "lfc", "hostA").start()
+        ppm.create_process("j1", host="hostB", program=spinner_spec(None))
+        return world
+
+    world = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    lpm = world.lpms[("hostA", "lfc")]
+    description = lpm.describe_endpoints()
+    text = render_endpoints(description)
+    write_result("figure4.txt", text)
+    publish(text)
+    # The three endpoint groups of Figure 4.
+    assert "kernel" in description["kernel_socket"]
+    assert description["accept_socket"].startswith("lpm:lfc:")
+    assert description["sibling_sockets"] == ["hostB"]
+    assert len(description["tool_sockets"]) == 1
+    # The kernel socket really is registered with the kernel.
+    assert world.host("hostA").kernel.has_lpm(1001)

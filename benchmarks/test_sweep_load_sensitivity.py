@@ -1,0 +1,106 @@
+"""Sweep: PPM operation cost versus host load and CPU class.
+
+Section 8: "An initial assessment of the PPM overhead shows that it is
+negligible for users not requiring the mechanism, and load dependent
+for those using it."
+
+The sweep measures remote-stop latency while the *remote* host's
+run-queue load sits in each Table 1 band, for a VAX 11/780 and a SUN II
+remote.  The claim reproduced: cost grows with load, the SUN II degrades
+faster (as its Table 1 column does), and an idle user (no LPM) pays
+nothing at all.
+"""
+
+import statistics
+
+import pytest
+
+from repro import PPMClient, install, spinner_spec
+from repro.bench.tables import write_result
+from repro.bench.workloads import raise_load_to_band
+from repro.netsim import HostClass
+from repro.unixsim import World
+from repro.util import format_table
+
+BANDS = [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+def build(remote_class):
+    world = World(seed=41)
+    world.add_host("origin", HostClass.VAX_780)
+    world.add_host("remote", remote_class)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", ["origin"])
+    client = PPMClient(world, "lfc", "origin").connect()
+    gpid = client.create_process("target", host="remote",
+                                 program=spinner_spec(None))
+    client.stop(gpid)  # warm everything
+    client.cont(gpid)
+    return world, client, gpid
+
+
+def measure(remote_class, band, repeats=5):
+    world, client, gpid = build(remote_class)
+    raise_load_to_band(world, world.host("remote"), band)
+    samples = []
+    for _ in range(repeats):
+        start = world.now_ms
+        client.stop(gpid)
+        samples.append(world.now_ms - start)
+        client.cont(gpid)
+    return statistics.mean(samples)
+
+
+def run_sweep():
+    rows = []
+    for remote_class in (HostClass.VAX_780, HostClass.SUN_2):
+        series = []
+        for band in BANDS:
+            series.append(measure(remote_class, band))
+        rows.append({"remote_class": remote_class, "series": series})
+    return rows
+
+
+def test_sweep_load_sensitivity(benchmark, publish):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["remote host", "la (0,1]", "la (1,2]", "la (2,3]", "la (3,4]"],
+        [[r["remote_class"].value]
+         + ["%.0f" % value for value in r["series"]] for r in rows],
+        title="Sweep: remote stop latency (ms) vs remote host load")
+    write_result("sweep_load_sensitivity.txt", table)
+    publish(table)
+
+    vax, sun = rows[0]["series"], rows[1]["series"]
+    # "Load dependent for those using it": monotone growth.
+    assert vax == sorted(vax)
+    assert sun == sorted(sun)
+    # The SUN II degrades faster, as its Table 1 column does.
+    assert (sun[-1] - sun[0]) > 2 * (vax[-1] - vax[0])
+    # Light-load remote stop is the Table 2 value.
+    assert vax[0] == pytest.approx(199.0, rel=0.1)
+
+
+def test_overhead_negligible_when_unused(benchmark, publish):
+    """The other half of the section 8 claim: a host with no LPM posts
+    no kernel messages and spends nothing on the PPM."""
+    def run():
+        world = World(seed=43)
+        world.add_host("solo", HostClass.VAX_780)
+        world.ethernet()
+        world.add_user("lfc", 1001)
+        from repro.unixsim import SpinnerProgram
+        host = world.host("solo")
+        for index in range(20):
+            host.spawn_user_process("lfc", "job%d" % index,
+                                    program=SpinnerProgram(5_000.0))
+        world.run_for(60_000.0)
+        return host.kernel.messages_posted, host.kernel.messages_suppressed
+
+    posted, suppressed = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("unused-PPM overhead: %d kernel messages posted, %d even "
+            "reached the flag check" % (posted, suppressed))
+    assert posted == 0
+    assert suppressed == 0  # the comparison-to-zero fast path

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Crash recovery: the CCS, the .recovery list, and network partitions.
+
+Walks through section 5's machinery live: a host crash detected over
+broken channels, the search down the user's ``.recovery`` priority
+list, a stand-in crash coordinator probing "at a low frequency" for the
+real one, and the merge after the network heals.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import (
+    HostClass,
+    PPMConfig,
+    PersonalProcessManager,
+    TraceEventType,
+    World,
+    spinner_spec,
+)
+
+
+RECOVERY_EVENTS = (
+    TraceEventType.FAILURE_DETECTED,
+    TraceEventType.CCS_SEARCH,
+    TraceEventType.CCS_ASSUMED,
+    TraceEventType.CCS_CONTACTED,
+    TraceEventType.CCS_PROBE,
+    TraceEventType.CCS_RELINQUISHED,
+    TraceEventType.TIME_TO_DIE_ARMED,
+    TraceEventType.RECOVERY_RESUMED,
+)
+
+
+def print_recovery_log(world, since_ms=0.0) -> float:
+    for event in world.recorder.events:
+        if event.time_ms >= since_ms and event.event_type in RECOVERY_EVENTS:
+            print("  [%8.0f ms] %-18s %-8s %s"
+                  % (event.time_ms, event.event_type.value, event.host,
+                     event.details))
+    return world.now_ms
+
+
+def main() -> None:
+    config = PPMConfig(ccs_probe_interval_ms=5_000.0,
+                       recovery_retry_interval_ms=4_000.0,
+                       time_to_die_ms=120_000.0,
+                       request_timeout_ms=8_000.0)
+    world = World(seed=3, config=config)
+    for name in ("home", "second", "compute1", "compute2"):
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", uid=1001)
+
+    # The .recovery file: home machines in decreasing priority.
+    ppm = PersonalProcessManager(world, "lfc", "home",
+                                 recovery_hosts=["home", "second"])
+    ppm.start()
+    for host in ("second", "compute1", "compute2"):
+        ppm.create_process("sim-%s" % host, host=host,
+                           program=spinner_spec(None))
+    print("session up; CCS = %s" % ppm.session_info()["ccs_host"])
+    mark = world.now_ms
+
+    # ------------------------------------------------------------------
+    print("\n=== the CCS host crashes ===")
+    world.host("home").crash()
+    world.run_for(40_000.0)
+    mark = print_recovery_log(world, mark)
+    second = world.lpms[("second", "lfc")]
+    print("stand-in CCS: %s (state %s)"
+          % (second.ccs_host, second.recovery.state.value))
+
+    # ------------------------------------------------------------------
+    print("\n=== the home machine comes back ===")
+    world.host("home").reboot()
+    world.run_for(60_000.0)
+    mark = print_recovery_log(world, mark)
+    print("CCS as seen by second:   %s" % second.ccs_host)
+    print("CCS as seen by compute1: %s"
+          % world.lpms[("compute1", "lfc")].ccs_host)
+
+    # ------------------------------------------------------------------
+    print("\n=== a network partition cuts off compute2 ===")
+    world.network.set_partition([{"compute2"}])
+    world.run_for(30_000.0)
+    mark = print_recovery_log(world, mark)
+    isolated = world.lpms[("compute2", "lfc")]
+    print("compute2 state: %s (its processes are still alive; "
+          "time-to-die is armed)" % isolated.recovery.state.value)
+
+    print("\n=== the partition heals before time-to-die expires ===")
+    world.network.heal_partition()
+    world.run_for(30_000.0)
+    print_recovery_log(world, mark)
+    print("compute2 state: %s" % isolated.recovery.state.value)
+
+    # The user's processes survived the whole episode.
+    survivors = ppm.relogin("second").snapshot()
+    print("\nsurviving computation:")
+    for record in sorted(survivors.records.values(),
+                         key=lambda r: r.gpid):
+        print("  %s %s (%s)" % (record.gpid, record.command, record.state))
+
+
+if __name__ == "__main__":
+    main()

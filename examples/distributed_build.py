@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""A distributed build farm with history-dependent triggers.
+
+The workload the paper's introduction motivates: a multiple-process
+program whose components execute on several machines, with "history
+dependent events ... set by users to trigger process state changes"
+(section 1).  A coordinator fans compile jobs out to worker hosts; a
+trigger watches the event history and reacts to a crash-looping job by
+stopping the whole computation.
+
+Run:  python examples/distributed_build.py
+"""
+
+from repro import (
+    HostClass,
+    PersonalProcessManager,
+    TraceEventType,
+    Trigger,
+    TriggerEngine,
+    World,
+    worker_spec,
+)
+from repro.core.rstats import render_report
+from repro.tracing import HistoryStore, render_timeline
+from repro.tracing.reduction import event_counts, process_lifetimes
+
+
+def main() -> None:
+    world = World(seed=7)
+    hosts = ["master", "farm1", "farm2", "farm3"]
+    for name in hosts:
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("builder", uid=2001)
+
+    ppm = PersonalProcessManager(world, "builder", "master",
+                                 recovery_hosts=["master", "farm1"])
+    ppm.start()
+
+    # --- history store + trigger engine over the session's events ----
+    history = HistoryStore()
+    history.follow(world.recorder)
+    engine = TriggerEngine(world.recorder, history=history)
+
+    halted = []
+
+    def halt_the_build(event) -> None:
+        halted.append(event)
+        print("  !! trigger fired at %.0f ms: third failure of %s within "
+              "10 s -- stopping the build" % (event.time_ms, event.gpid))
+        ppm.stop_computation(root)
+
+    engine.add(Trigger(
+        name="crash-loop-guard",
+        event_type=TraceEventType.EXIT,
+        predicate=lambda event, h: (
+            event.details.get("status", 0) != 0
+            and h.count_in_window(event.time_ms, 10_000.0,
+                                  TraceEventType.EXIT) >= 3),
+        action=halt_the_build,
+        once=True))
+
+    # --- the build: a coordinator plus per-host compile jobs ---------
+    root = ppm.create_process("build-coordinator",
+                              program=worker_spec(120_000.0))
+    for index, host in enumerate(("farm1", "farm2", "farm3")):
+        ppm.create_process("cc-unit%d" % index, host=host, parent=root,
+                           program=worker_spec(4_000.0 + 500.0 * index))
+    # One unit is broken and crash-loops (exits nonzero repeatedly).
+    for attempt in range(3):
+        ppm.create_process("cc-broken", host="farm2", parent=root,
+                           program=worker_spec(1_500.0 + 200 * attempt,
+                                               exit_status=1))
+
+    print("build running on: %s\n" % ", ".join(ppm.execution_sites(root)))
+    world.run_for(30_000.0)
+
+    assert halted, "the crash-loop trigger should have fired"
+    print("\nbuild state after the trigger:")
+    forest = ppm.snapshot(prune=False)
+    stopped = [r for r in forest.records.values() if r.state == "stopped"]
+    print("  %d processes stopped by the trigger" % len(stopped))
+
+    # --- what the historical record can tell the user ----------------
+    print("\nevent counts for the session:")
+    for name, count in sorted(event_counts(history.all_events()).items()):
+        print("  %-22s %d" % (name, count))
+
+    lifetimes = process_lifetimes(history.all_events())
+    finished = {g: (start, end) for g, (start, end) in lifetimes.items()
+                if end is not None}
+    print("\n%d processes have complete lifetimes in the history"
+          % len(finished))
+
+    print("\nrecent trace events:")
+    print(render_timeline(history.events_of_type(TraceEventType.EXIT),
+                          limit=6))
+
+    print()
+    print(render_report(ppm.rstats_report()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""User-level IPC: arbitrary conversations, managed genealogies.
+
+Section 1's setting: "In Berkeley UNIX 4.3BSD interprocess communication
+can be accomplished using different addressing families ...  Two
+processes wishing to communicate need not have a common ancestor nor
+reside in the same host.  The UNIX paradigm of pipelined multiple-process
+programs is not, however, appropriate for general distributed
+computations."
+
+This example builds exactly such a computation — talkers on three hosts
+streaming to one collector, no shared ancestor — then uses the PPM to do
+what a pipeline shell cannot: snapshot it, analyse its IPC, stop it, and
+account for it.
+
+Run:  python examples/ipc_pipeline.py
+"""
+
+from repro import (
+    ControlAction,
+    GlobalPid,
+    HostClass,
+    PersonalProcessManager,
+    World,
+    sleeper_spec,
+)
+from repro.tracing import render_forest, render_user_ipc, user_ipc_matrix
+from repro.unixsim import EchoProgram, TalkerProgram
+
+
+def main() -> None:
+    world = World(seed=13)
+    for name in ("hub", "sensorA", "sensorB", "sensorC"):
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", uid=1001)
+
+    ppm = PersonalProcessManager(world, "lfc", "hub",
+                                 recovery_hosts=["hub"])
+    ppm.start()
+
+    # The collector is a managed PPM process; the echo image answers
+    # every report it receives.
+    collector_prog = EchoProgram()
+    collector = ppm.create_process("collector", program=sleeper_spec(None))
+    # Attach the live server behaviour to the managed process.
+    proc = world.host("hub").kernel.procs.get(collector.pid)
+    proc.program = collector_prog
+    collector_prog.start(world.host("hub").kernel, proc)
+
+    # Sensors on three machines stream to it — created under the PPM so
+    # they are part of the managed computation, but their conversations
+    # are plain 4.3BSD IPC with no shared ancestor.
+    talkers = {}
+    for host in ("sensorA", "sensorB", "sensorC"):
+        gpid = ppm.create_process("sensor", host=host, parent=collector,
+                                  program=sleeper_spec(None))
+        talker = TalkerProgram(collector, interval_ms=250.0, count=8)
+        sensor_proc = world.host(host).kernel.procs.get(gpid.pid)
+        sensor_proc.program = talker
+        talker.start(world.host(host).kernel, sensor_proc)
+        talkers[host] = (gpid, talker)
+
+    world.run_for(5_000.0)
+
+    print("the computation (one logical ancestor, three machines):")
+    print(render_forest(ppm.snapshot()))
+
+    print("\nreports collected: %d (echoed back: %d per sensor)"
+          % (collector_prog.messages_echoed,
+             next(iter(talkers.values()))[1].replies_seen))
+
+    # --- the IPC activity tracing and analysis tool -------------------
+    print("\n%s" % render_user_ipc(world.recorder.events))
+    matrix = user_ipc_matrix(world.recorder.events)
+    busiest = max(matrix.items(), key=lambda item: item[1]["messages"])
+    print("\nbusiest conversation: %s -> %s (%d messages)"
+          % (busiest[0][0], busiest[0][1], busiest[1]["messages"]))
+
+    # --- and the control a pipeline shell could never deliver ---------
+    print("\nstopping the whole computation from the hub...")
+    ppm.stop_computation(collector)
+    stopped = [r for r in ppm.snapshot(prune=False).records.values()
+               if r.state == "stopped"]
+    print("%d processes stopped across %d hosts"
+          % (len(stopped), len({r.gpid.host for r in stopped})))
+    ppm.kill_computation(collector)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: a personal process manager across three machines.
+
+Builds a small simulated Berkeley network, starts a PPM session, creates
+a computation that spans hosts, takes a genealogical snapshot, controls
+a remote process, and prints resource statistics — the two tools the
+paper's implementation shipped with (section 6).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ControlAction,
+    HostClass,
+    PersonalProcessManager,
+    World,
+    spinner_spec,
+    worker_spec,
+)
+from repro.core.rstats import render_report
+from repro.tracing import render_forest
+
+
+def main() -> None:
+    # --- the network: three machines on one Ethernet -----------------
+    world = World(seed=42)
+    world.add_host("ucbvax", HostClass.VAX_780)
+    world.add_host("ucbarpa", HostClass.VAX_750)
+    world.add_host("ucbernie", HostClass.SUN_2)
+    world.ethernet()
+    world.add_user("lfc", uid=1001)
+
+    # --- invoke the mechanism (Figure 2's four steps happen here) ----
+    ppm = PersonalProcessManager(world, "lfc", "ucbvax",
+                                 recovery_hosts=["ucbvax", "ucbarpa"])
+    ppm.start()
+    print("session established on ucbvax; CCS is %s\n"
+          % ppm.session_info()["ccs_host"])
+
+    # --- a computation spanning three hosts --------------------------
+    root = ppm.create_process("coordinator", program=spinner_spec(None))
+    solver_a = ppm.create_process("solver", host="ucbarpa", parent=root,
+                                  program=spinner_spec(None))
+    solver_b = ppm.create_process("solver", host="ucbernie", parent=root,
+                                  program=spinner_spec(None))
+    ppm.create_process("logger", host="ucbarpa", parent=root,
+                       program=worker_spec(2_000.0))
+    world.run_for(5_000.0)  # the logger finishes
+
+    # --- the snapshot tool -------------------------------------------
+    print(render_forest(ppm.snapshot()))
+    print("\ncomputation executes on: %s\n"
+          % ", ".join(ppm.execution_sites(root)))
+
+    # --- process control across machine boundaries -------------------
+    print("stopping the solver on ucbernie...")
+    ppm.control(solver_b, ControlAction.STOP)
+    print(render_forest(ppm.snapshot()))
+
+    print("\nstopping the whole computation, then killing it...")
+    ppm.stop_computation(root)
+    ppm.kill_computation(root)
+    world.run_for(1_000.0)
+
+    # --- exited-process resource consumption statistics --------------
+    print()
+    print(render_report(ppm.rstats_report()))
+
+    del solver_a  # (identity shown in the snapshot above)
+
+
+if __name__ == "__main__":
+    main()

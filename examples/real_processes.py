@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The PPM's single-host semantics on real processes.
+
+Everything the simulator models on one host — creation as a managed
+server, control by signal, genealogy, retained exit records — driven
+against the actual Linux kernel via ``subprocess``, signals, and
+``/proc`` (the "processes as files" mechanism of section 6).
+
+Run:  python examples/real_processes.py        (Linux only)
+"""
+
+import sys
+import time
+
+from repro import ControlAction
+from repro.core.rstats import build_report, render_report
+from repro.localos import RealBackend
+from repro.tracing import render_forest
+
+PY = sys.executable
+
+
+def wait_for(predicate, timeout_s=10.0):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def main() -> None:
+    with RealBackend() as backend:
+        print("managing real processes on %s\n" % backend.host_name)
+
+        # A computation: a shell that forks two sleeping children.
+        root = backend.spawn(
+            ["/bin/sh", "-c",
+             "%s -c 'import time; time.sleep(60)' & "
+             "%s -c 'import time; time.sleep(60)' & wait" % (PY, PY)],
+            name="coordinator")
+        worker = backend.spawn([PY, "-c",
+                                "sum(i * i for i in range(3_000_000))"],
+                               name="cruncher", parent=root)
+        brief = backend.spawn([PY, "-c", "raise SystemExit(3)"],
+                              name="flaky", parent=root)
+
+        wait_for(lambda: len(
+            backend.snapshot(prune=False).descendants(root)) >= 2)
+        print("genealogical snapshot (from /proc):")
+        print(render_forest(backend.snapshot(prune=False)))
+
+        # Stop and continue the whole subtree with real signals.
+        print("\nstopping the coordinator's computation...")
+        backend.control_tree(root, ControlAction.STOP)
+        wait_for(lambda: backend.state_of(root) == "stopped")
+        print("coordinator state: %s" % backend.state_of(root))
+        backend.control_tree(root, ControlAction.CONTINUE)
+        wait_for(lambda: backend.state_of(root) in ("running", "sleeping"))
+        print("continued; coordinator state: %s" % backend.state_of(root))
+
+        # Let the short jobs finish, then show retained exit records.
+        wait_for(lambda: backend.state_of(brief) == "exited")
+        wait_for(lambda: backend.state_of(worker) == "exited",
+                 timeout_s=30.0)
+        print("\nexited-process resource statistics:")
+        print(render_report(build_report(backend.rstats())))
+
+        print("\nkilling the computation and shutting down.")
+        backend.control_tree(root, ControlAction.KILL)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Resilient computations plus the section 7 tool suite.
+
+Section 5 leaves resilient computations as an exercise: "control would
+have to be carefully transferred to another host.  This can be achieved
+with robust protocols implemented on top of our basic mechanism."  This
+example runs that protocol — a supervised service whose units migrate
+to fallback hosts when machines die — and inspects it with the tools
+section 7 planned: open/closed files, file descriptors, and IPC
+activity analysis.
+
+Run:  python examples/resilient_service.py
+"""
+
+from repro import (
+    HostClass,
+    PPMClient,
+    ResilientComputation,
+    UnitSpec,
+    World,
+    file_worker_spec,
+    install,
+    spinner_spec,
+)
+from repro.core.files_tool import render_fd_table, render_open_files
+from repro.tracing.ipc import render_ipc_by_kind, render_ipc_matrix
+
+
+def main() -> None:
+    world = World(seed=5)
+    for name in ("control", "node1", "node2", "node3"):
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("ops", uid=3001)
+    install(world)
+    world.write_recovery_file("ops", ["control", "node1"])
+
+    client = PPMClient(world, "ops", "control").connect()
+
+    # --- a supervised service: three units with fallback hosts -------
+    service = ResilientComputation(client, [
+        UnitSpec(name="frontend", command="frontend",
+                 program=file_worker_spec(
+                     10**9, files=["/var/log/frontend", "/etc/service.conf"]),
+                 candidate_hosts=["node1", "node2", "node3"]),
+        UnitSpec(name="database", command="database",
+                 program=file_worker_spec(
+                     10**9, files=["/var/db/main", "/var/db/journal"]),
+                 candidate_hosts=["node2", "node3"]),
+        UnitSpec(name="indexer", command="indexer",
+                 program=spinner_spec(None),
+                 candidate_hosts=["node3", "node1"]),
+    ]).start()
+
+    print("initial placement:")
+    for name, info in service.status().items():
+        print("  %-10s on %-8s (%s)" % (name, info["host"], info["gpid"]))
+
+    # --- the open-files tool ------------------------------------------
+    print("\n%s" % render_open_files(client.snapshot(prune=False)))
+
+    # --- a machine dies; the supervisor transfers control ------------
+    print("\nnode2 crashes (taking the database with it)...")
+    world.host("node2").crash()
+    service.run_supervised(30_000.0, check_interval_ms=5_000.0)
+    print("placement after recovery:")
+    for name, info in service.status().items():
+        print("  %-10s on %-8s restarts=%d"
+              % (name, info["host"], info["restarts"]))
+    assert service.all_running()
+
+    # --- the file-descriptor tool on the migrated database -----------
+    forest = client.snapshot(prune=False)
+    database = service.units["database"].gpid
+    print("\n%s" % render_fd_table(forest, database))
+
+    # --- IPC activity tracing and analysis ---------------------------
+    print("\n%s" % render_ipc_matrix(world.recorder.events))
+    print("\n%s" % render_ipc_by_kind(world.recorder.events))
+
+    service.shutdown()
+    print("\nservice shut down.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The PPM outlives the login session.
+
+Section 4: "The PPM will outlive a user login session if processes
+created by that user remain active ... a user's request for a LPM
+following a new login will yield an existing one.  This simple scheme
+allows users to regain knowledge and control of all of the processes
+that have been created under the PPM mechanism in the past and are
+still alive."
+
+A user starts overnight simulations, logs out, and logs in the next
+morning on a *different* machine — regaining the whole computation,
+plus the history recorded while they were away.
+
+Run:  python examples/session_persistence.py
+"""
+
+from repro import (
+    ControlAction,
+    HostClass,
+    PersonalProcessManager,
+    TraceEventType,
+    World,
+    fork_tree_spec,
+    spinner_spec,
+    worker_spec,
+)
+from repro.tracing import render_forest
+from repro.tracing.reduction import event_counts
+
+
+def main() -> None:
+    world = World(seed=11)
+    for name in ("office", "machineA", "machineB"):
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", uid=1001)
+
+    # --- evening: start the overnight runs, then log out -------------
+    ppm = PersonalProcessManager(world, "lfc", "office",
+                                 recovery_hosts=["office"])
+    ppm.start()
+    batch = ppm.create_process(
+        "overnight-batch",
+        program=fork_tree_spec(
+            [("preprocess", 100.0, worker_spec(240_000.0)),  # 4 sim-min
+             ("mainloop", 200.0, spinner_spec(None))]))
+    ppm.create_process("sweep-a", host="machineA", parent=batch,
+                       program=spinner_spec(None))
+    ppm.create_process("sweep-b", host="machineB", parent=batch,
+                       program=spinner_spec(None))
+    print("before logout:")
+    print(render_forest(ppm.snapshot()))
+    ppm.logout()
+    print("\n(logged out)")
+
+    # --- overnight: eight simulated hours pass -----------------------
+    world.run_for(8 * 3600 * 1000.0)
+
+    # --- morning: a new login on a different machine ------------------
+    client = ppm.relogin("machineA")
+    print("\nlogged in on machineA the next morning; the LPMs persisted:")
+    forest = client.snapshot()
+    print(render_forest(forest))
+
+    # The preprocess step finished while logged out; its exit record
+    # was preserved and the history is queryable.
+    exits = world.recorder.select(TraceEventType.EXIT)
+    print("\nexits recorded while logged out: %d" % len(exits))
+    counts = event_counts(world.recorder.events)
+    print("session event counts: fork=%s exit=%s kernel messages=%s"
+          % (counts.get("fork", 0), counts.get("exit", 0),
+             counts.get("kernel_message", 0)))
+
+    # Full control is regained: stop the sweep on the other machine.
+    sweep_b = next(gpid for gpid, record in forest.records.items()
+                   if record.command == "sweep-b")
+    client.control(sweep_b, ControlAction.STOP)
+    print("\nstopped %s from machineA; final state:" % (sweep_b,))
+    print(render_forest(client.snapshot()))
+
+
+if __name__ == "__main__":
+    main()

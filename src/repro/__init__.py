@@ -1,0 +1,133 @@
+"""repro — a reproduction of the Berkeley Personal Process Manager.
+
+"The Administration of Distributed Computations in a Networked
+Environment: An Interim Report", Cabrera, Sechrest, Cáceres
+(ICDCS 1986).
+
+Quickstart::
+
+    from repro import World, HostClass, PersonalProcessManager, spinner_spec
+
+    world = World(seed=1)
+    for name in ("ucbvax", "ucbarpa", "ucbernie"):
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+
+    ppm = PersonalProcessManager(world, "lfc", "ucbvax",
+                                 recovery_hosts=["ucbvax", "ucbarpa"])
+    ppm.start()
+    gpid = ppm.create_process("simulate", host="ucbarpa",
+                              program=spinner_spec(60_000.0))
+    print(ppm.snapshot())
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from .config import DEFAULT_CONFIG, KERNEL_MESSAGE_BYTES, PPMConfig
+from .errors import (
+    AdoptionError,
+    AuthenticationError,
+    ConfigError,
+    ConnectionClosedError,
+    HostDownError,
+    NoLPMError,
+    NoSuchHostError,
+    NoSuchProcessError,
+    PPMError,
+    ProcessPermissionError,
+    RecoveryError,
+    ReproError,
+    RequestTimeoutError,
+    SimulationError,
+    UnreachableHostError,
+)
+from .ids import BroadcastId, GlobalPid, SessionId
+from .netsim import CostModel, DEFAULT_COST_MODEL, HostClass, Simulator
+from .unixsim import Host, Signal, World
+from .core import (
+    ControlAction,
+    LocalProcessManager,
+    Message,
+    MsgKind,
+    PersonalProcessManager,
+    PPMClient,
+    ProcessRecord,
+    ResilientComputation,
+    SnapshotForest,
+    UnitSpec,
+    build_program,
+    file_worker_spec,
+    fork_tree_spec,
+    install,
+    sleeper_spec,
+    spinner_spec,
+    worker_spec,
+)
+from .tracing import (
+    Granularity,
+    HistoryStore,
+    TraceEvent,
+    TraceEventType,
+    TraceRecorder,
+    Trigger,
+    TriggerEngine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PPMConfig",
+    "DEFAULT_CONFIG",
+    "KERNEL_MESSAGE_BYTES",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "NoSuchHostError",
+    "HostDownError",
+    "UnreachableHostError",
+    "ConnectionClosedError",
+    "NoSuchProcessError",
+    "ProcessPermissionError",
+    "AdoptionError",
+    "AuthenticationError",
+    "PPMError",
+    "NoLPMError",
+    "RequestTimeoutError",
+    "RecoveryError",
+    "GlobalPid",
+    "BroadcastId",
+    "SessionId",
+    "Simulator",
+    "HostClass",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "World",
+    "Host",
+    "Signal",
+    "Message",
+    "MsgKind",
+    "LocalProcessManager",
+    "install",
+    "ProcessRecord",
+    "SnapshotForest",
+    "ControlAction",
+    "PPMClient",
+    "PersonalProcessManager",
+    "build_program",
+    "spinner_spec",
+    "sleeper_spec",
+    "worker_spec",
+    "file_worker_spec",
+    "fork_tree_spec",
+    "ResilientComputation",
+    "UnitSpec",
+    "TraceEvent",
+    "TraceEventType",
+    "Granularity",
+    "TraceRecorder",
+    "HistoryStore",
+    "Trigger",
+    "TriggerEngine",
+]

@@ -1,0 +1,98 @@
+"""The C-shell job-control baseline.
+
+A csh job is the set of the shell's *direct children* on the shell's
+*own host*; ``stop``/``kill`` on a job signals exactly those processes.
+Grandchildren, processes created remotely, and anything adopted later
+are invisible — "well suited to the typical multiple-process program in
+UNIX, the pipeline of processes", and nothing more (section 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import NoSuchProcessError, ProcessPermissionError
+from ..unixsim.process import ProcState, Process
+from ..unixsim.signals import Signal
+
+
+class CshJobControl:
+    """A login shell with classic job control on one host."""
+
+    def __init__(self, host, user: str) -> None:
+        self.host = host
+        self.user = user
+        self.uid = host.uid_of(user)
+        self.shell = host.kernel.spawn(self.uid, "csh",
+                                       state=ProcState.SLEEPING)
+        #: job number -> list of direct-child pids (a pipeline).
+        self.jobs: dict = {}
+        self._next_job = 1
+
+    # ------------------------------------------------------------------
+    # Job creation
+    # ------------------------------------------------------------------
+
+    def run_pipeline(self, commands: List[Tuple[str, object]],
+                     foreground: bool = True) -> int:
+        """Start a pipeline: one direct child per stage.  Returns the
+        job number."""
+        pids = []
+        for command, program in commands:
+            proc = self.host.kernel.spawn(self.uid, command,
+                                          ppid=self.shell.pid,
+                                          program=program,
+                                          foreground=foreground)
+            pids.append(proc.pid)
+        job = self._next_job
+        self._next_job += 1
+        self.jobs[job] = pids
+        return job
+
+    # ------------------------------------------------------------------
+    # Job control: direct children only
+    # ------------------------------------------------------------------
+
+    def _signal_job(self, job: int, signal: Signal) -> List[int]:
+        """Deliver a signal to the job's pipeline members.  This is all
+        csh can reach: the shell's own children, on this host."""
+        signalled = []
+        for pid in self.jobs.get(job, []):
+            try:
+                self.host.kernel.kill(pid, signal, sender_uid=self.uid)
+            except (NoSuchProcessError, ProcessPermissionError):
+                continue
+            signalled.append(pid)
+        return signalled
+
+    def stop(self, job: int) -> List[int]:
+        return self._signal_job(job, Signal.SIGSTOP)
+
+    def cont(self, job: int) -> List[int]:
+        return self._signal_job(job, Signal.SIGCONT)
+
+    def kill(self, job: int) -> List[int]:
+        return self._signal_job(job, Signal.SIGKILL)
+
+    # ------------------------------------------------------------------
+    # What the shell can see (for the coverage comparison)
+    # ------------------------------------------------------------------
+
+    def visible_processes(self) -> List[Process]:
+        """The shell's direct, local children — its whole world."""
+        return [proc for proc
+                in self.host.kernel.procs.children_of(self.shell.pid)
+                if proc.alive]
+
+    def coverage_of(self, all_pids: List[Tuple[str, int]]) -> float:
+        """Fraction of a computation's processes this shell could
+        signal: direct local children only."""
+        if not all_pids:
+            return 1.0
+        reachable = {(self.host.name, proc.pid)
+                     for proc in self.visible_processes()}
+        direct = {pid for job in self.jobs.values() for pid in job}
+        reachable |= {(self.host.name, pid) for pid in direct
+                      if self.host.kernel.procs.find(pid) is not None
+                      and self.host.kernel.procs.find(pid).alive}
+        return len(reachable & set(all_pids)) / len(all_pids)

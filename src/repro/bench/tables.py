@@ -1,0 +1,42 @@
+"""Paper-versus-measured table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..util import format_table
+
+#: Where the harness drops the regenerated tables.
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results")
+
+
+def comparison_table(title: str, rows: List[dict],
+                     label: str = "case") -> str:
+    """Render rows of ``{label, paper_ms, measured_ms}`` with the ratio."""
+    body = []
+    for row in rows:
+        paper = row.get("paper_ms")
+        measured = row["measured_ms"]
+        if paper:
+            ratio = "%.2f" % (measured / paper)
+            paper_text = "%.1f" % (paper,)
+        else:
+            ratio = "-"
+            paper_text = "-"
+        body.append([row[label], paper_text, "%.1f" % (measured,), ratio])
+    return format_table([label, "paper (ms)", "measured (ms)",
+                         "measured/paper"], body, title=title)
+
+
+def write_result(filename: str, content: str,
+                 results_dir: Optional[str] = None) -> str:
+    """Persist a regenerated table under ``benchmarks/results/``."""
+    directory = results_dir or RESULTS_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content if content.endswith("\n") else content + "\n")
+    return path

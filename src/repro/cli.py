@@ -1,0 +1,128 @@
+"""Command-line entry point: ``python -m repro``.
+
+Three subcommands:
+
+* ``demo``  — build a small simulated network, run a representative
+  session, and print the tool output (a self-contained tour).
+* ``shell`` — the same world, but interactive: drive the PPM through
+  the :class:`repro.core.shell.PPMShell` command interpreter.
+* ``version`` — print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.ppm import PersonalProcessManager
+from .core.shell import PPMShell
+from .netsim.latency import HostClass
+from .unixsim.world import World
+
+
+def build_demo_world(seed: int = 1):
+    """The standard demo network: three hosts, one user."""
+    world = World(seed=seed)
+    world.add_host("ucbvax", HostClass.VAX_780)
+    world.add_host("ucbarpa", HostClass.VAX_750)
+    world.add_host("ucbernie", HostClass.SUN_2)
+    world.ethernet()
+    world.add_user("lfc", uid=1001)
+    ppm = PersonalProcessManager(world, "lfc", "ucbvax",
+                                 recovery_hosts=["ucbvax", "ucbarpa"])
+    ppm.start()
+    return world, ppm
+
+
+def cmd_demo(args) -> int:
+    world, ppm = build_demo_world(seed=args.seed)
+    shell = PPMShell(ppm)
+    script = [
+        "create ucbvax coordinator spinner",
+        "create ucbarpa solver spinner",
+        "create ucbernie solver spinner",
+        "create ucbarpa preprocessor worker:2500",
+        "snapshot",
+        "stop <ucbernie,5>",
+        "snapshot",
+        "session",
+        "rstats",
+    ]
+    # Let the worker finish before rstats.
+    for line in script:
+        if line == "rstats":
+            world.run_for(5_000.0)
+        print("ppm> %s" % line)
+        output = shell.execute(line)
+        if output:
+            print(output)
+        print()
+    return 0
+
+
+def cmd_shell(args) -> int:
+    world, ppm = build_demo_world(seed=args.seed)
+    shell = PPMShell(ppm)
+    print("PPM interactive shell (simulated network: ucbvax, ucbarpa, "
+          "ucbernie; user lfc)")
+    print("type 'help' for commands, 'quit' to exit, "
+          "'run <ms>' to advance simulated time\n")
+    stream = args.input if args.input is not None else sys.stdin
+    while True:
+        print("ppm> ", end="", flush=True)
+        line = stream.readline()
+        if not line:
+            break
+        line = line.strip()
+        if line in ("quit", "exit"):
+            break
+        if line.startswith("run "):
+            try:
+                duration = float(line.split()[1])
+            except (IndexError, ValueError):
+                print("usage: run <ms>")
+                continue
+            world.run_for(duration)
+            print("advanced to %.1f ms" % (world.now_ms,))
+            continue
+        output = shell.execute(line)
+        if output:
+            print(output)
+    return 0
+
+
+def cmd_version(args) -> int:
+    print("repro %s — Berkeley PPM reproduction (ICDCS 1986)"
+          % (__version__,))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the Berkeley Personal Process "
+                    "Manager (Cabrera, Sechrest, Cáceres; ICDCS 1986).")
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="run a scripted demo session")
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(fn=cmd_demo)
+
+    shell = sub.add_parser("shell", help="interactive PPM shell")
+    shell.add_argument("--seed", type=int, default=1)
+    shell.set_defaults(fn=cmd_shell, input=None)
+
+    version = sub.add_parser("version", help="print the version")
+    version.set_defaults(fn=cmd_version)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""The files and file-descriptor display tools.
+
+Section 7 plans "a tool for displaying the open and closed files of
+processes, a tool for displaying file descriptors".  Both read the
+per-process file information the LPMs include in their records (pulled
+from the PCBs via the LPM's ptrace access), so they work across every
+host in the session through an ordinary snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..util import format_table
+from .snapshot import SnapshotForest
+
+
+def open_files_by_process(forest: SnapshotForest) -> Dict:
+    """Map each live process to its open-file entries."""
+    return {gpid: list(record.open_files)
+            for gpid, record in sorted(forest.records.items())
+            if not record.exited and record.open_files}
+
+
+def closed_files_by_process(forest: SnapshotForest) -> Dict:
+    """Map each process to its recently closed files."""
+    return {gpid: list(record.closed_files)
+            for gpid, record in sorted(forest.records.items())
+            if record.closed_files}
+
+
+def render_open_files(forest: SnapshotForest) -> str:
+    """The open-files tool: one row per (process, descriptor)."""
+    rows: List[List] = []
+    for gpid, entries in open_files_by_process(forest).items():
+        command = forest.records[gpid].command
+        for entry in entries:
+            rows.append([str(gpid), command, entry["fd"], entry["path"],
+                         entry["mode"], "%.1f" % entry["opened_ms"]])
+    if not rows:
+        return "no open files in the computation"
+    return format_table(
+        ["process", "command", "fd", "path", "mode", "opened (ms)"],
+        rows, title="Open files")
+
+
+def render_closed_files(forest: SnapshotForest) -> str:
+    """The closed-files history view."""
+    rows: List[List] = []
+    for gpid, entries in closed_files_by_process(forest).items():
+        command = forest.records[gpid].command
+        for entry in entries:
+            rows.append([str(gpid), command, entry["path"],
+                         "%.1f" % entry["opened_ms"],
+                         "%.1f" % entry["closed_ms"]])
+    if not rows:
+        return "no closed files recorded"
+    return format_table(
+        ["process", "command", "path", "opened (ms)", "closed (ms)"],
+        rows, title="Closed files")
+
+
+def render_fd_table(forest: SnapshotForest, gpid) -> str:
+    """The file-descriptor tool for one process."""
+    record = forest.records.get(gpid)
+    if record is None:
+        return "%s: no such process in the snapshot" % (gpid,)
+    rows = [[entry["fd"], entry["path"], entry["mode"]]
+            for entry in record.open_files]
+    if not rows:
+        return "%s (%s): no open descriptors" % (gpid, record.command)
+    return format_table(["fd", "path", "mode"], rows,
+                        title="Descriptors of %s (%s)"
+                              % (gpid, record.command))
+
+
+def file_usage_summary(forest: SnapshotForest) -> Dict[str, dict]:
+    """Per-path aggregate: how many processes hold each file open."""
+    summary: Dict[str, dict] = {}
+    for gpid, record in forest.records.items():
+        for entry in record.open_files:
+            info = summary.setdefault(entry["path"],
+                                      {"open_count": 0, "holders": []})
+            info["open_count"] += 1
+            info["holders"].append(gpid)
+    for info in summary.values():
+        info["holders"].sort()
+    return summary

@@ -1,0 +1,94 @@
+"""Declarative program specifications.
+
+Remote process creation sends *what to run* across the wire.  The PPM
+cannot ship live Python objects, so tools describe programs as plain
+dictionaries; the creating LPM builds the simulated program image with
+:func:`build_program`.  This keeps the whole protocol serialisable
+(checked by :mod:`repro.core.wire`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ReproError
+from ..unixsim.programs import (
+    FileWorkerProgram,
+    ForkTreeProgram,
+    Program,
+    SleeperProgram,
+    SpinnerProgram,
+    WorkerProgram,
+)
+
+
+def spinner_spec(duration_ms: Optional[float] = None) -> dict:
+    """A CPU burner; ``None`` runs forever."""
+    return {"type": "spinner", "duration_ms": duration_ms}
+
+
+def sleeper_spec(duration_ms: Optional[float] = None) -> dict:
+    """A blocked process that never joins the run queue."""
+    return {"type": "sleeper", "duration_ms": duration_ms}
+
+
+def worker_spec(duration_ms: float, exit_status: int = 0) -> dict:
+    """A short-lived job with an exit status."""
+    return {"type": "worker", "duration_ms": duration_ms,
+            "exit_status": exit_status}
+
+
+def file_worker_spec(duration_ms: float, files, close_after_ms=(),
+                     exit_status: int = 0) -> dict:
+    """A job that opens the named files while it works.
+
+    ``close_after_ms`` is a list of ``(path, delay_ms)`` pairs closed
+    before exit; the rest close at exit.
+    """
+    return {"type": "file_worker", "duration_ms": duration_ms,
+            "exit_status": exit_status, "files": list(files),
+            "close_after_ms": [[path, delay] for path, delay
+                               in close_after_ms]}
+
+
+def fork_tree_spec(children, duration_ms: Optional[float] = None,
+                   exit_status: int = 0) -> dict:
+    """A process that forks a subtree.
+
+    ``children`` is a list of ``(command, delay_ms, child_spec)`` tuples
+    (child_spec may be None for a plain forever-spinner child).
+    """
+    return {"type": "fork_tree", "duration_ms": duration_ms,
+            "exit_status": exit_status,
+            "children": [[command, delay_ms, child_spec]
+                         for command, delay_ms, child_spec in children]}
+
+
+def build_program(spec: Optional[dict]) -> Optional[Program]:
+    """Materialise a program image from its wire spec."""
+    if spec is None:
+        return None
+    kind = spec.get("type")
+    if kind == "spinner":
+        return SpinnerProgram(spec.get("duration_ms"))
+    if kind == "sleeper":
+        return SleeperProgram(spec.get("duration_ms"))
+    if kind == "worker":
+        return WorkerProgram(spec["duration_ms"],
+                             exit_status=spec.get("exit_status", 0))
+    if kind == "file_worker":
+        return FileWorkerProgram(
+            spec["duration_ms"], spec.get("files", []),
+            close_after_ms=[(path, delay) for path, delay
+                            in spec.get("close_after_ms", [])],
+            exit_status=spec.get("exit_status", 0))
+    if kind == "fork_tree":
+        children = [(command, delay_ms,
+                     build_program(child_spec) if child_spec is not None
+                     else SpinnerProgram(None))
+                    for command, delay_ms, child_spec
+                    in spec.get("children", [])]
+        return ForkTreeProgram(children,
+                               duration_ms=spec.get("duration_ms"),
+                               exit_status=spec.get("exit_status", 0))
+    raise ReproError("unknown program spec type %r" % (kind,))

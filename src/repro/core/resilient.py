@@ -1,0 +1,172 @@
+"""Resilient computations — the robust layer the paper leaves open.
+
+Section 5: "Were we managing resilient computations, control would have
+to be carefully transferred to another host.  This can be achieved with
+robust protocols implemented on top of our basic mechanism.  We have
+chosen not to do so in our first implementation."
+
+This module is that protocol, built strictly *on top* of the public
+tool interface (snapshots and process creation through a
+:class:`repro.core.client.PPMClient`): a supervisor describes the units
+of a computation, each with a priority list of candidate hosts — the
+same shape as a ``.recovery`` list — and re-creates any unit whose
+process exited or whose host vanished, on the best available host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import PPMError
+from ..ids import GlobalPid
+
+
+@dataclass
+class UnitSpec:
+    """One resilient unit of the computation."""
+
+    name: str
+    command: str
+    program: Optional[dict]
+    #: Hosts in decreasing order of preference.
+    candidate_hosts: List[str]
+    max_restarts: int = 8
+
+
+@dataclass
+class UnitState:
+    """Runtime state of a unit under supervision."""
+
+    spec: UnitSpec
+    gpid: Optional[GlobalPid] = None
+    restarts: int = 0
+    failed_permanently: bool = False
+    history: List[str] = field(default_factory=list)
+
+    @property
+    def hosting(self) -> Optional[str]:
+        return self.gpid.host if self.gpid is not None else None
+
+
+class ResilientComputation:
+    """A supervisor keeping a set of units alive across failures."""
+
+    def __init__(self, client, units: List[UnitSpec],
+                 parent: Optional[GlobalPid] = None) -> None:
+        self.client = client
+        self.world = client.world
+        self.parent = parent
+        self.units: Dict[str, UnitState] = {
+            spec.name: UnitState(spec=spec) for spec in units}
+        self.checks = 0
+        self.restarts_performed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ResilientComputation":
+        """Place every unit on its preferred reachable host."""
+        for state in self.units.values():
+            self._place(state)
+        return self
+
+    def _place(self, state: UnitState) -> bool:
+        """Try candidate hosts in priority order."""
+        for host in state.spec.candidate_hosts:
+            world_host = self.world.hosts.get(host)
+            if world_host is None or not world_host.up:
+                continue
+            try:
+                state.gpid = self.client.create_process(
+                    state.spec.command, host=host,
+                    program=state.spec.program, parent=self.parent)
+            except PPMError:
+                continue
+            state.history.append("placed on %s as %s"
+                                 % (host, state.gpid))
+            return True
+        state.gpid = None
+        state.history.append("no candidate host available")
+        return False
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+
+    def check_once(self) -> List[str]:
+        """One supervision pass: restart dead or lost units.
+
+        Returns the names of units acted upon.  Control transfer is the
+        paper's phrase made literal: a unit whose host crashed is
+        re-created on the next host of its candidate list.
+        """
+        self.checks += 1
+        forest = self.client.snapshot(prune=False)
+        acted: List[str] = []
+        for state in self.units.values():
+            if state.failed_permanently or state.gpid is None:
+                continue
+            record = forest.records.get(state.gpid)
+            host = self.world.hosts.get(state.gpid.host)
+            alive = (record is not None and not record.exited
+                     and host is not None and host.up)
+            if alive:
+                continue
+            if state.restarts >= state.spec.max_restarts:
+                state.failed_permanently = True
+                state.history.append("gave up after %d restarts"
+                                     % (state.restarts,))
+                acted.append(state.spec.name)
+                continue
+            state.restarts += 1
+            self.restarts_performed += 1
+            reason = "host down" if (host is None or not host.up) \
+                else "process exited"
+            state.history.append("restart %d (%s)"
+                                 % (state.restarts, reason))
+            self._place(state)
+            acted.append(state.spec.name)
+        return acted
+
+    def run_supervised(self, duration_ms: float,
+                       check_interval_ms: float = 5_000.0) -> None:
+        """Advance the world, checking units at each interval."""
+        deadline = self.world.now_ms + duration_ms
+        while self.world.now_ms < deadline:
+            step = min(check_interval_ms, deadline - self.world.now_ms)
+            self.world.run_for(step)
+            self.check_once()
+
+    # ------------------------------------------------------------------
+    # Introspection and teardown
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, dict]:
+        return {name: {"gpid": str(state.gpid) if state.gpid else None,
+                       "host": state.hosting,
+                       "restarts": state.restarts,
+                       "failed": state.failed_permanently}
+                for name, state in sorted(self.units.items())}
+
+    def all_running(self) -> bool:
+        forest = self.client.snapshot(prune=False)
+        for state in self.units.values():
+            if state.gpid is None or state.failed_permanently:
+                return False
+            record = forest.records.get(state.gpid)
+            if record is None or record.exited:
+                return False
+        return True
+
+    def shutdown(self) -> None:
+        """Kill every unit still alive."""
+        from .control import ControlAction
+        for state in self.units.values():
+            if state.gpid is None:
+                continue
+            try:
+                self.client.control(state.gpid, ControlAction.KILL)
+            except PPMError:
+                pass

@@ -1,0 +1,69 @@
+"""Route caching over the LPM overlay.
+
+"All data returned to the originator of a broadcast request includes the
+message's source-destination route.  This allows quick routing of
+messages affecting processes in topologically distant hosts.  No
+attention is currently devoted to finding minimum hop routes to nodes."
+(section 4)
+
+The cache stores, per destination host, the *first* route learned — not
+the shortest — faithfully reproducing that design choice.  Routes are
+invalidated when a connection they rely on breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class RouteCache:
+    """Learned overlay routes from one LPM to distant siblings."""
+
+    def __init__(self, self_host: str) -> None:
+        self.self_host = self_host
+        self._routes: Dict[str, List[str]] = {}
+        self.learned = 0
+        self.invalidated = 0
+
+    def learn(self, path: List[str]) -> bool:
+        """Record a path (``[self, ..., dest]``).  First route wins, as
+        in the paper; returns True when something new was stored."""
+        if len(path) < 2 or path[0] != self.self_host:
+            return False
+        dest = path[-1]
+        if dest == self.self_host or dest in self._routes:
+            return False
+        self._routes[dest] = list(path)
+        self.learned += 1
+        return True
+
+    def learn_from_reply_route(self, reply_route: List[str]) -> bool:
+        """A reply's route runs replier -> ... -> us; reverse to learn
+        the forward path."""
+        return self.learn(list(reversed(reply_route)))
+
+    def route_to(self, dest: str) -> Optional[List[str]]:
+        return list(self._routes[dest]) if dest in self._routes else None
+
+    def next_hop(self, dest: str) -> Optional[str]:
+        route = self._routes.get(dest)
+        return route[1] if route else None
+
+    def forget(self, dest: str) -> None:
+        self._routes.pop(dest, None)
+
+    def invalidate_via(self, broken_peer: str) -> List[str]:
+        """Drop every route whose first hop (or any hop) is a peer we
+        lost contact with; returns the destinations dropped."""
+        dropped = [dest for dest, route in self._routes.items()
+                   if broken_peer in route[1:]]
+        for dest in dropped:
+            del self._routes[dest]
+            self.invalidated += 1
+        return dropped
+
+    def destinations(self) -> List[str]:
+        return sorted(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)

@@ -1,0 +1,70 @@
+"""The exited-process resource-consumption statistics tool.
+
+One of the two tools the paper's implementation shipped with
+("snapshots with process control, and exited process resource
+consumption statistics", section 6).  The raw records come from
+:meth:`repro.core.client.PPMClient.rstats`; this module reduces them to
+per-command totals and renders the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..util import format_table
+from .snapshot import ProcessRecord
+
+
+@dataclass
+class CommandUsage:
+    """Aggregate usage of every exited instance of one command."""
+
+    command: str
+    count: int = 0
+    total_utime_ms: float = 0.0
+    total_lifetime_ms: float = 0.0
+    forks: int = 0
+    signals: int = 0
+    hosts: tuple = ()
+
+    @property
+    def mean_utime_ms(self) -> float:
+        return self.total_utime_ms / self.count if self.count else 0.0
+
+
+def build_report(records: List[ProcessRecord]) -> List[CommandUsage]:
+    """Aggregate exited-process records by command, busiest first."""
+    by_command: Dict[str, CommandUsage] = {}
+    host_sets: Dict[str, set] = {}
+    for record in records:
+        if not record.exited:
+            continue
+        usage = by_command.setdefault(record.command,
+                                      CommandUsage(record.command))
+        usage.count += 1
+        usage.total_utime_ms += record.rusage.get("utime_ms", 0.0)
+        if record.end_ms is not None:
+            usage.total_lifetime_ms += record.end_ms - record.start_ms
+        usage.forks += record.rusage.get("forks", 0)
+        usage.signals += record.rusage.get("signals", 0)
+        host_sets.setdefault(record.command, set()).add(record.gpid.host)
+    for command, usage in by_command.items():
+        usage.hosts = tuple(sorted(host_sets[command]))
+    return sorted(by_command.values(),
+                  key=lambda usage: (-usage.total_utime_ms, usage.command))
+
+
+def render_report(usages: List[CommandUsage]) -> str:
+    """The user-facing statistics table."""
+    rows = [[usage.command, usage.count,
+             "%.1f" % (usage.total_utime_ms,),
+             "%.1f" % (usage.mean_utime_ms,),
+             "%.1f" % (usage.total_lifetime_ms,),
+             usage.forks, usage.signals,
+             ",".join(usage.hosts)]
+            for usage in usages]
+    return format_table(
+        ["command", "n", "cpu total (ms)", "cpu mean (ms)",
+         "lifetime (ms)", "forks", "signals", "hosts"],
+        rows, title="Exited process resource consumption")

@@ -1,0 +1,217 @@
+"""A command-interpreter tool for the PPM.
+
+Section 4: "The PPM mechanism is not integrated with any command
+interpreter, and thus its services must be obtained by one of a series
+of tools (which may include command interpreters)."  :class:`PPMShell`
+is such an interpreter: a line-oriented front end over the subroutine
+library, with the snapshot/control built-ins the paper describes plus
+the section 7 tools (files, descriptors, IPC analysis).
+
+It is deliberately *not* integrated into the LPM — it is one more tool
+speaking the same protocol as everything else.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List
+
+from ..errors import ReproError
+from ..ids import GlobalPid
+from ..tracing.display import render_forest, render_gantt, render_timeline
+from ..tracing.ipc import (
+    render_ipc_by_kind,
+    render_ipc_matrix,
+    render_user_ipc,
+)
+from .control import ControlAction
+from .files_tool import render_fd_table, render_open_files, render_closed_files
+from .ppm import PersonalProcessManager
+from .progspec import sleeper_spec, spinner_spec, worker_spec
+from .rstats import render_report
+
+HELP = """\
+PPM shell commands:
+  snapshot [-a]              genealogical snapshot (-a: keep exited leaves)
+  create <host> <command> [spinner|sleeper|worker:<ms>[:<status>]]
+  stop|cont|fg|bg|term|kill <host,pid>
+  stopall|contall|killall <host,pid>    act on a whole computation
+  sites <host,pid>           execution sites of a computation
+  rstats                     exited-process resource statistics
+  files [-c]                 open files (-c: closed-file history)
+  fds <host,pid>             file descriptors of one process
+  ipc [kinds|user]           IPC activity: LPM matrix, per-kind, or
+                             user-process conversations
+  history [n]                recent trace events
+  chart                      process state chart (the display tool)
+  session                    session information
+  adopt <pid>                adopt a local process and its descendants
+  help                       this text
+"""
+
+_CONTROL_VERBS = {
+    "stop": ControlAction.STOP,
+    "cont": ControlAction.CONTINUE,
+    "fg": ControlAction.FOREGROUND,
+    "bg": ControlAction.BACKGROUND,
+    "term": ControlAction.TERMINATE,
+    "kill": ControlAction.KILL,
+}
+
+_COMPUTATION_VERBS = {
+    "stopall": ControlAction.STOP,
+    "contall": ControlAction.CONTINUE,
+    "killall": ControlAction.KILL,
+}
+
+
+def _parse_gpid(text: str) -> GlobalPid:
+    if text.startswith("<"):
+        return GlobalPid.parse(text)
+    host, sep, pid = text.partition(",")
+    if not sep:
+        raise ReproError("expected <host,pid>, got %r" % (text,))
+    return GlobalPid(host, int(pid))
+
+
+def _parse_program(text: str):
+    """``spinner``, ``sleeper``, ``worker:<ms>`` or ``worker:<ms>:<rc>``."""
+    kind, _sep, rest = text.partition(":")
+    if kind == "spinner":
+        return spinner_spec(None)
+    if kind == "sleeper":
+        return sleeper_spec(None)
+    if kind == "worker":
+        duration, _sep, status = rest.partition(":")
+        return worker_spec(float(duration or 1000.0),
+                           exit_status=int(status or 0))
+    raise ReproError("unknown program %r" % (text,))
+
+
+class PPMShell:
+    """Line-oriented interpreter over one PPM session."""
+
+    def __init__(self, ppm: PersonalProcessManager) -> None:
+        self.ppm = ppm
+        self.world = ppm.world
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "snapshot": self._cmd_snapshot,
+            "create": self._cmd_create,
+            "sites": self._cmd_sites,
+            "rstats": self._cmd_rstats,
+            "files": self._cmd_files,
+            "fds": self._cmd_fds,
+            "ipc": self._cmd_ipc,
+            "history": self._cmd_history,
+            "chart": self._cmd_chart,
+            "session": self._cmd_session,
+            "adopt": self._cmd_adopt,
+            "help": lambda args: HELP,
+        }
+
+    def execute(self, line: str) -> str:
+        """Run one command line; errors come back as text, never as
+        exceptions (a shell must survive typos)."""
+        try:
+            words = shlex.split(line)
+        except ValueError as exc:
+            return "parse error: %s" % (exc,)
+        if not words:
+            return ""
+        verb, args = words[0], words[1:]
+        try:
+            if verb in _CONTROL_VERBS:
+                return self._control(verb, args)
+            if verb in _COMPUTATION_VERBS:
+                return self._computation(verb, args)
+            handler = self._commands.get(verb)
+            if handler is None:
+                return "unknown command %r (try: help)" % (verb,)
+            return handler(args)
+        except (ReproError, ValueError, IndexError) as exc:
+            return "error: %s" % (exc,)
+
+    # ------------------------------------------------------------------
+    # Command implementations
+    # ------------------------------------------------------------------
+
+    def _cmd_snapshot(self, args: List[str]) -> str:
+        prune = "-a" not in args
+        return render_forest(self.ppm.snapshot(prune=prune))
+
+    def _cmd_create(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: create <host> <command> [program]"
+        host, command = args[0], args[1]
+        program = _parse_program(args[2]) if len(args) > 2 \
+            else spinner_spec(None)
+        gpid = self.ppm.create_process(command, host=host, program=program)
+        return "created %s %s" % (gpid, command)
+
+    def _control(self, verb: str, args: List[str]) -> str:
+        gpid = _parse_gpid(args[0])
+        result = self.ppm.control(gpid, _CONTROL_VERBS[verb])
+        return "%s %s: ok (on %s)" % (verb, gpid, result["host"])
+
+    def _computation(self, verb: str, args: List[str]) -> str:
+        gpid = _parse_gpid(args[0])
+        results = self.ppm.signal_computation(gpid,
+                                              _COMPUTATION_VERBS[verb])
+        return "%s %s: %d processes signalled" % (verb, gpid,
+                                                  len(results))
+
+    def _cmd_sites(self, args: List[str]) -> str:
+        gpid = _parse_gpid(args[0])
+        sites = self.ppm.execution_sites(gpid)
+        if not sites:
+            return "%s: not found" % (gpid,)
+        return "%s executes on: %s" % (gpid, ", ".join(sites))
+
+    def _cmd_rstats(self, args: List[str]) -> str:
+        return render_report(self.ppm.rstats_report())
+
+    def _cmd_files(self, args: List[str]) -> str:
+        forest = self.ppm.snapshot(prune=False)
+        if "-c" in args:
+            return render_closed_files(forest)
+        return render_open_files(forest)
+
+    def _cmd_fds(self, args: List[str]) -> str:
+        gpid = _parse_gpid(args[0])
+        return render_fd_table(self.ppm.snapshot(prune=False), gpid)
+
+    def _cmd_ipc(self, args: List[str]) -> str:
+        events = self.world.recorder.events
+        if args and args[0] == "kinds":
+            return render_ipc_by_kind(events)
+        if args and args[0] == "user":
+            return render_user_ipc(events)
+        return render_ipc_matrix(events)
+
+    def _cmd_history(self, args: List[str]) -> str:
+        limit = int(args[0]) if args else 20
+        return render_timeline(self.world.recorder.events, limit=limit)
+
+    def _cmd_chart(self, args: List[str]) -> str:
+        return render_gantt(self.world.recorder.events,
+                            until_ms=self.world.now_ms)
+
+    def _cmd_session(self, args: List[str]) -> str:
+        info = self.ppm.session_info()
+        lines = ["session of %s on %s" % (info["user"], info["host"])]
+        lines.append("  CCS: %s" % (info["ccs_host"],))
+        lines.append("  siblings: %s"
+                     % (", ".join(info["siblings"]) or "(none)"))
+        lines.append("  recovery state: %s" % (info["recovery_state"],))
+        lines.append("  handlers: %d spawned, %d reused, peak %d busy"
+                     % (info["handler_stats"]["spawned"],
+                        info["handler_stats"]["reused"],
+                        info["handler_stats"]["peak_busy"]))
+        for dest, route in sorted((info.get("routes") or {}).items()):
+            lines.append("  route to %s: %s" % (dest, " -> ".join(route)))
+        return "\n".join(lines)
+
+    def _cmd_adopt(self, args: List[str]) -> str:
+        pids = self.ppm.adopt(int(args[0]))
+        return "adopted %d process(es): %s" % (
+            len(pids), ", ".join(str(p) for p in pids))

@@ -1,0 +1,252 @@
+"""The real-process manager: a single-host LPM over the local kernel.
+
+The backend is the creation server for its processes (they are children
+of this Python process, as PPM processes are children of the LPM),
+controls them with genuine signals, tracks descendants through
+``/proc``, and retains exit information — the paper's single-host
+semantics on real hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.control import ControlAction
+from ..core.snapshot import ProcessRecord, SnapshotForest
+from ..errors import NoSuchProcessError, PPMError
+from ..ids import GlobalPid
+from . import procfs
+
+_ACTION_SIGNALS = {
+    ControlAction.STOP: signal.SIGSTOP,
+    ControlAction.CONTINUE: signal.SIGCONT,
+    ControlAction.FOREGROUND: signal.SIGCONT,
+    ControlAction.BACKGROUND: signal.SIGCONT,
+    ControlAction.TERMINATE: signal.SIGTERM,
+    ControlAction.KILL: signal.SIGKILL,
+}
+
+
+@dataclass
+class ManagedProcess:
+    """One process this backend created (or discovered as a
+    descendant)."""
+
+    pid: int
+    command: str
+    parent: Optional[GlobalPid]
+    started_at: float
+    popen: Optional[subprocess.Popen] = None
+    exited: bool = False
+    exit_status: Optional[int] = None
+    ended_at: Optional[float] = None
+    #: Last CPU usage sampled from /proc before exit.
+    last_utime_ms: float = 0.0
+    last_stime_ms: float = 0.0
+    signals_sent: int = field(default=0)
+
+
+class RealBackend:
+    """Manage real local processes with PPM semantics."""
+
+    def __init__(self, host_name: Optional[str] = None) -> None:
+        self.host_name = host_name or socket.gethostname()
+        self._managed: Dict[int, ManagedProcess] = {}
+
+    # ------------------------------------------------------------------
+    # Creation (the backend is the creation server)
+    # ------------------------------------------------------------------
+
+    def spawn(self, argv: Sequence[str], name: Optional[str] = None,
+              parent: Optional[GlobalPid] = None) -> GlobalPid:
+        """Start a child process; returns its ``<host, pid>`` identity."""
+        popen = subprocess.Popen(
+            list(argv), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL, stdin=subprocess.DEVNULL)
+        record = ManagedProcess(pid=popen.pid,
+                                command=name or os.path.basename(argv[0]),
+                                parent=parent, started_at=time.time(),
+                                popen=popen)
+        self._managed[popen.pid] = record
+        return GlobalPid(self.host_name, popen.pid)
+
+    def _discover_descendants(self) -> None:
+        """Adoption of descendants: pull newly forked children of
+        managed processes into management via /proc."""
+        index = procfs.children_map()
+        frontier = [pid for pid, rec in self._managed.items()
+                    if not rec.exited]
+        while frontier:
+            pid = frontier.pop()
+            for child in index.get(pid, []):
+                if child in self._managed:
+                    continue
+                stat = procfs.read_stat(child)
+                if stat is None:
+                    continue
+                self._managed[child] = ManagedProcess(
+                    pid=child, command=stat.command,
+                    parent=GlobalPid(self.host_name, pid),
+                    started_at=time.time())
+                frontier.append(child)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Sample /proc, reap exits, keep exit records (section 2's
+        retention rule: exit information survives)."""
+        self._discover_descendants()
+        for record in self._managed.values():
+            if record.exited:
+                continue
+            stat = procfs.read_stat(record.pid)
+            if stat is not None and stat.state != "exited":
+                record.last_utime_ms = stat.utime_ms
+                record.last_stime_ms = stat.stime_ms
+                continue
+            record.exited = True
+            record.ended_at = time.time()
+            if record.popen is not None:
+                record.exit_status = record.popen.poll()
+                if record.exit_status is None:
+                    try:
+                        record.exit_status = record.popen.wait(timeout=2.0)
+                    except subprocess.TimeoutExpired:  # pragma: no cover
+                        record.exit_status = None
+
+    def state_of(self, gpid: GlobalPid) -> str:
+        self._require_local(gpid)
+        record = self._managed.get(gpid.pid)
+        if record is None:
+            raise NoSuchProcessError(str(gpid))
+        if record.exited:
+            return "exited"
+        stat = procfs.read_stat(gpid.pid)
+        if stat is None:
+            self.refresh()
+            return "exited"
+        return stat.state
+
+    def managed_pids(self) -> List[int]:
+        return sorted(self._managed)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+
+    def control(self, gpid: GlobalPid, action: ControlAction) -> None:
+        """Deliver a control action by real signal."""
+        self._require_local(gpid)
+        record = self._managed.get(gpid.pid)
+        if record is None:
+            raise NoSuchProcessError(str(gpid))
+        if record.exited:
+            return
+        try:
+            os.kill(gpid.pid, _ACTION_SIGNALS[action])
+            record.signals_sent += 1
+        except ProcessLookupError:
+            self.refresh()
+
+    def control_tree(self, root: GlobalPid,
+                     action: ControlAction) -> List[GlobalPid]:
+        """The computation-level broadcast: children before parents."""
+        self.refresh()
+        forest = self.snapshot(prune=False)
+        targets = [gpid for gpid in forest.descendants(root)
+                   if not forest.records[gpid].exited]
+        if root in forest and not forest.records[root].exited:
+            targets.append(root)
+        for gpid in targets:
+            self.control(gpid, action)
+        return targets
+
+    def wait_all(self, timeout_s: float = 30.0) -> None:
+        """Wait for every directly spawned child to finish."""
+        deadline = time.time() + timeout_s
+        for record in list(self._managed.values()):
+            if record.popen is None or record.exited:
+                continue
+            remaining = max(deadline - time.time(), 0.01)
+            try:
+                record.popen.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                raise PPMError("pid %d did not exit in time"
+                               % (record.pid,))
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # The snapshot tool
+    # ------------------------------------------------------------------
+
+    def snapshot(self, prune: bool = True) -> SnapshotForest:
+        """The genealogical snapshot, on real processes."""
+        self.refresh()
+        forest = SnapshotForest(taken_at_ms=time.time() * 1000.0)
+        for record in self._managed.values():
+            if record.exited:
+                state = "exited"
+            else:
+                stat = procfs.read_stat(record.pid)
+                state = stat.state if stat is not None else "exited"
+            forest.add(ProcessRecord(
+                gpid=GlobalPid(self.host_name, record.pid),
+                parent=record.parent,
+                user=str(os.getuid()),
+                command=record.command,
+                state=state,
+                start_ms=record.started_at * 1000.0,
+                end_ms=record.ended_at * 1000.0
+                if record.ended_at else None,
+                exit_status=record.exit_status,
+                rusage={"utime_ms": record.last_utime_ms,
+                        "stime_ms": record.last_stime_ms,
+                        "signals": record.signals_sent}))
+        return forest.prune_exited_leaves() if prune else forest
+
+    def rstats(self) -> List[ProcessRecord]:
+        """Exited-process records, for the rstats report."""
+        self.refresh()
+        return [record for record in self.snapshot(prune=False).records.values()
+                if record.exited]
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Kill everything still alive (the time-to-die action)."""
+        self.refresh()
+        for record in self._managed.values():
+            if record.exited:
+                continue
+            try:
+                os.kill(record.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                continue
+        for record in self._managed.values():
+            if record.popen is not None and record.popen.poll() is None:
+                try:
+                    record.popen.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+        self.refresh()
+
+    def _require_local(self, gpid: GlobalPid) -> None:
+        if gpid.host != self.host_name:
+            raise PPMError("%s is not on this host (%s)"
+                           % (gpid, self.host_name))
+
+    def __enter__(self) -> "RealBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

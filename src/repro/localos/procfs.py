@@ -1,0 +1,98 @@
+"""Reading genealogy and state from ``/proc``.
+
+Section 6 discusses the ``/proc`` "processes as files" mechanism as an
+elegant alternative the authors would have used for message delivery;
+here it supplies what the simulated kernel's event messages supply in
+:mod:`repro.unixsim`: process state and parent links.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+#: /proc stat state letters -> the record states used by snapshots.
+_STATE_NAMES = {
+    "R": "running",
+    "S": "sleeping",
+    "D": "sleeping",   # uninterruptible sleep
+    "I": "sleeping",   # idle kernel thread
+    "T": "stopped",
+    "t": "stopped",    # tracing stop
+    "Z": "exited",
+    "X": "exited",
+}
+
+
+@dataclass(frozen=True)
+class ProcStat:
+    """The fields of ``/proc/<pid>/stat`` the backend needs."""
+
+    pid: int
+    command: str
+    state: str
+    ppid: int
+    utime_ticks: int
+    stime_ticks: int
+
+    @property
+    def utime_ms(self) -> float:
+        hertz = os.sysconf("SC_CLK_TCK")
+        return 1000.0 * self.utime_ticks / hertz
+
+    @property
+    def stime_ms(self) -> float:
+        hertz = os.sysconf("SC_CLK_TCK")
+        return 1000.0 * self.stime_ticks / hertz
+
+
+def read_stat(pid: int) -> Optional[ProcStat]:
+    """Parse ``/proc/<pid>/stat``; None when the process is gone."""
+    try:
+        with open("/proc/%d/stat" % pid, "rb") as handle:
+            raw = handle.read().decode("ascii", "replace")
+    except (FileNotFoundError, ProcessLookupError, PermissionError):
+        return None
+    # The command is parenthesised and may contain spaces/parens; split
+    # around the *last* closing paren.
+    open_paren = raw.index("(")
+    close_paren = raw.rindex(")")
+    command = raw[open_paren + 1:close_paren]
+    fields = raw[close_paren + 2:].split()
+    # fields[0] is the state letter; ppid is fields[1]; utime/stime are
+    # fields 11/12 (0-indexed after the state letter removal shift).
+    return ProcStat(pid=pid, command=command,
+                    state=_STATE_NAMES.get(fields[0], "running"),
+                    ppid=int(fields[1]),
+                    utime_ticks=int(fields[11]),
+                    stime_ticks=int(fields[12]))
+
+
+def children_map() -> Dict[int, List[int]]:
+    """Map every ppid -> child pids, from one /proc scan."""
+    result: Dict[int, List[int]] = {}
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        stat = read_stat(int(entry))
+        if stat is None:
+            continue
+        result.setdefault(stat.ppid, []).append(stat.pid)
+    return result
+
+
+def descendants(root_pid: int,
+                child_index: Optional[Dict[int, List[int]]] = None
+                ) -> List[int]:
+    """All live descendants of ``root_pid`` (excluding the root)."""
+    index = child_index if child_index is not None else children_map()
+    seen: Set[int] = set()
+    stack = list(index.get(root_pid, []))
+    while stack:
+        pid = stack.pop()
+        if pid in seen:
+            continue
+        seen.add(pid)
+        stack.extend(index.get(pid, []))
+    return sorted(seen)

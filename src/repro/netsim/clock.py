@@ -1,0 +1,32 @@
+"""The simulated clock.
+
+All timing in the reproduction is expressed in simulated milliseconds so
+that the benchmark output reads in the same units as the paper's tables.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class SimClock:
+    """A monotonically advancing clock owned by the simulator."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    def advance_to(self, time_ms: float) -> None:
+        """Move the clock forward; moving backwards is a bug."""
+        if time_ms < self._now_ms:
+            raise SimulationError(
+                "clock moved backwards: %.3f -> %.3f"
+                % (self._now_ms, time_ms))
+        self._now_ms = float(time_ms)
+
+    def __repr__(self) -> str:
+        return "SimClock(%.3f ms)" % (self._now_ms,)

@@ -1,0 +1,87 @@
+"""Timed events and the event queue.
+
+Events are ordered by ``(time, sequence number)`` so that two events
+scheduled for the same instant fire in scheduling order; this keeps every
+simulation run deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class Event:
+    """One scheduled callback.
+
+    Instances are handed back by :meth:`Simulator.schedule`; holding the
+    reference allows cancellation (the simulator skips cancelled events
+    instead of removing them from the heap).
+    """
+
+    __slots__ = ("time_ms", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(self, time_ms: float, seq: int,
+                 callback: Callable[..., None], args: tuple,
+                 label: str = "") -> None:
+        self.time_ms = time_ms
+        self.seq = seq
+        self.callback: Optional[Callable[..., None]] = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; idempotent."""
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ms, self.seq) < (other.time_ms, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t=%.3f, seq=%d, %s%s)" % (
+            self.time_ms, self.seq, state,
+            ", label=%r" % (self.label,) if self.label else "")
+
+
+class EventQueue:
+    """A heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._live = 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time_ms
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook called by the simulator on cancellation."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return max(self._live, 0)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,155 @@
+"""The discrete-event simulation driver.
+
+The :class:`Simulator` owns the clock and the event queue.  All higher
+layers (hosts, daemons, LPMs, tools) are callback-driven state machines:
+they never block, they only schedule future work.  Given a seed, a run is
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .clock import SimClock
+from .events import Event, EventQueue
+
+
+class Simulator:
+    """Clock plus event queue plus a seeded random source."""
+
+    def __init__(self, seed: int = 0, start_ms: float = 0.0) -> None:
+        self.clock = SimClock(start_ms)
+        self.queue = EventQueue()
+        self.rng = random.Random(seed)
+        self._seq = 0
+        self._events_run = 0
+        self._running = False
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.clock.now_ms
+
+    @property
+    def events_run(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_run
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay_ms: float, callback: Callable[..., None],
+                 *args, label: str = "") -> Event:
+        """Run ``callback(*args)`` after ``delay_ms`` simulated ms."""
+        if delay_ms < 0:
+            raise SimulationError("cannot schedule into the past "
+                                  "(delay_ms=%r)" % (delay_ms,))
+        return self.schedule_at(self.now_ms + delay_ms, callback, *args,
+                                label=label)
+
+    def schedule_at(self, time_ms: float, callback: Callable[..., None],
+                    *args, label: str = "") -> Event:
+        """Run ``callback(*args)`` at absolute simulated time ``time_ms``."""
+        if time_ms < self.now_ms:
+            raise SimulationError(
+                "cannot schedule into the past (t=%.3f, now=%.3f)"
+                % (time_ms, self.now_ms))
+        self._seq += 1
+        event = Event(time_ms, self._seq, callback, args, label=label)
+        self.queue.push(event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a scheduled event; safe on None and already-cancelled."""
+        if event is None or event.cancelled:
+            return
+        event.cancel()
+        self.queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time_ms)
+        callback, args = event.callback, event.args
+        event.callback, event.args = None, ()
+        self._events_run += 1
+        if callback is not None:
+            callback(*args)
+        return True
+
+    def run_until(self, time_ms: float, max_events: int = 10_000_000) -> None:
+        """Run every event scheduled at or before ``time_ms``.
+
+        The clock ends exactly at ``time_ms`` even if the queue drains
+        early, so timers keep a consistent reference point.
+        """
+        executed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > time_ms:
+                break
+            if executed >= max_events:
+                raise SimulationError(
+                    "run_until(%.3f) exceeded %d events; likely a scheduling "
+                    "loop" % (time_ms, max_events))
+            self.step()
+            executed += 1
+        if time_ms > self.now_ms:
+            self.clock.advance_to(time_ms)
+
+    def run_for(self, duration_ms: float, max_events: int = 10_000_000) -> None:
+        """Run the next ``duration_ms`` of simulated time."""
+        self.run_until(self.now_ms + duration_ms, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain.  Unsafe with recurring timers."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    "run_until_idle exceeded %d events; a recurring timer is "
+                    "probably still armed" % (max_events,))
+
+    def run_until_true(self, predicate: Callable[[], bool],
+                       timeout_ms: float = 600_000.0,
+                       max_events: int = 10_000_000) -> bool:
+        """Run until ``predicate()`` holds or ``timeout_ms`` passes.
+
+        Returns True if the predicate became true.  The predicate is
+        checked after every executed event.
+        """
+        deadline = self.now_ms + timeout_ms
+        executed = 0
+        if predicate():
+            return True
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > deadline:
+                return False
+            if executed >= max_events:
+                raise SimulationError(
+                    "run_until_true exceeded %d events" % (max_events,))
+            self.step()
+            executed += 1
+            if predicate():
+                return True
+
+    def jitter_ms(self, magnitude_ms: float) -> float:
+        """A small deterministic random delay in [0, magnitude_ms)."""
+        if magnitude_ms <= 0:
+            return 0.0
+        return self.rng.random() * magnitude_ms
+
+    def __repr__(self) -> str:
+        return "Simulator(now=%.3f ms, pending=%d, run=%d)" % (
+            self.now_ms, len(self.queue), self._events_run)

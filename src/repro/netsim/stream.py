@@ -1,0 +1,257 @@
+"""Reliable stream connections — the paper's TCP virtual circuits.
+
+Sibling LPMs, tool connections, and daemon conversations all run over
+these (section 3: "communication between sibling LPMs is done by reliable
+virtual circuits provided by TCP connections").  A connection delivers
+messages in order with the wire delay of its current network path, breaks
+when the path disappears (crash, partition, link down), and notifies the
+surviving endpoints after a detection delay, like a failed send or
+keepalive would.
+
+Establishing a connection costs a configurable setup time covering the
+three-way handshake plus the channel authentication of section 3
+("The LPMs are able to perform authentication when channels are created,
+rather than upon every request").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import ConnectionClosedError, UnreachableHostError
+from .network import Network
+
+#: Default detection delay for a silently broken circuit.
+DEFAULT_DETECT_MS = 2_000.0
+
+
+class StreamEndpoint:
+    """One end of a stream connection.
+
+    Owners install ``on_message(payload, endpoint)`` and
+    ``on_close(reason, endpoint)`` callbacks.  ``peer_name`` is the host
+    at the other end, and ``context`` is free for the owner's use.
+    """
+
+    def __init__(self, conn: "StreamConnection", local: str,
+                 peer: str) -> None:
+        self.conn = conn
+        self.local_name = local
+        self.peer_name = peer
+        self.on_message: Optional[Callable] = None
+        self.on_close: Optional[Callable] = None
+        self.context = None
+        self._closed = False
+
+    @property
+    def open(self) -> bool:
+        return not self._closed and self.conn.established
+
+    def send(self, payload, nbytes: int = 256,
+             extra_delay_ms: float = 0.0) -> None:
+        """Queue ``payload`` for in-order delivery to the peer.
+
+        ``extra_delay_ms`` lets the caller add endpoint processing time
+        computed at a higher layer (e.g. load-scaled LPM protocol costs).
+        Raises :class:`ConnectionClosedError` if the circuit is known to
+        be down, and breaks the circuit immediately if the send discovers
+        the path is gone (TCP RST semantics).
+        """
+        if not self.open:
+            raise ConnectionClosedError(
+                "%s -> %s" % (self.local_name, self.peer_name))
+        self.conn.transmit(self, payload, nbytes, extra_delay_ms)
+
+    def close(self) -> None:
+        """Orderly shutdown of the whole connection; idempotent."""
+        if not self._closed:
+            self.conn.close(initiator=self)
+
+    def _mark_closed(self) -> None:
+        self._closed = True
+
+    def __repr__(self) -> str:
+        return "StreamEndpoint(%s <-> %s, %s)" % (
+            self.local_name, self.peer_name,
+            "open" if self.open else "closed")
+
+
+class StreamConnection:
+    """A reliable, ordered, authenticated-at-setup virtual circuit."""
+
+    _next_id = 1
+
+    def __init__(self, network: Network, a_name: str, b_name: str,
+                 detect_ms: float = DEFAULT_DETECT_MS) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.conn_id = StreamConnection._next_id
+        StreamConnection._next_id += 1
+        self.a = StreamEndpoint(self, a_name, b_name)
+        self.b = StreamEndpoint(self, b_name, a_name)
+        self.detect_ms = detect_ms
+        self.established = False
+        self._last_delivery_ms = {id(self.a): 0.0, id(self.b): 0.0}
+        self._break_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Establishment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def connect(cls, network: Network, src: str, dst: str, service: str,
+                payload=None, setup_ms: float = 0.0,
+                on_established: Optional[Callable] = None,
+                on_failed: Optional[Callable] = None,
+                detect_ms: float = DEFAULT_DETECT_MS) -> "StreamConnection":
+        """Open a circuit from ``src`` to the named service on ``dst``.
+
+        Asynchronous: after the setup delay (handshake round trip plus
+        ``setup_ms`` for authentication), the destination's acceptor is
+        called with the server-side endpoint and ``payload``, then
+        ``on_established(client_endpoint)`` fires.  If the destination is
+        unreachable or not listening, ``on_failed(reason)`` fires instead
+        (after one round-trip-worth of delay, as a refused TCP connect
+        would).
+        """
+        conn = cls(network, src, dst, detect_ms=detect_ms)
+        sim = network.sim
+
+        def fail(reason: str, delay_ms: float) -> None:
+            def deliver_failure() -> None:
+                if on_failed is not None:
+                    on_failed(reason)
+            sim.schedule(delay_ms, deliver_failure,
+                         label="connect-fail %s->%s" % (src, dst))
+
+        try:
+            one_way = network.transit_delay_ms(src, dst, 64)
+        except UnreachableHostError:
+            fail("unreachable", detect_ms)
+            return conn
+
+        node = network.nodes[dst]
+        acceptor = node.services.get(service)
+        if acceptor is None:
+            fail("connection refused: no %r service on %s" % (service, dst),
+                 2 * one_way)
+            return conn
+
+        def complete() -> None:
+            # The path may have vanished during the handshake.
+            if not network.reachable(src, dst):
+                fail("unreachable", 0.0)
+                return
+            current_acceptor = network.nodes[dst].services.get(service)
+            if current_acceptor is None:
+                fail("connection refused: %r vanished on %s" % (service, dst),
+                     0.0)
+                return
+            conn.established = True
+            network.register_connection(conn)
+            current_acceptor(conn.b, payload)
+            if on_established is not None:
+                on_established(conn.a)
+
+        sim.schedule(2 * one_way + setup_ms, complete,
+                     label="connect %s->%s/%s" % (src, dst, service))
+        return conn
+
+    # ------------------------------------------------------------------
+    # Data transfer
+    # ------------------------------------------------------------------
+
+    def _peer_of(self, endpoint: StreamEndpoint) -> StreamEndpoint:
+        return self.b if endpoint is self.a else self.a
+
+    def transmit(self, sender: StreamEndpoint, payload, nbytes: int,
+                 extra_delay_ms: float) -> None:
+        peer = self._peer_of(sender)
+        try:
+            wire = self.network.transit_delay_ms(sender.local_name,
+                                                 peer.local_name, nbytes)
+        except UnreachableHostError:
+            # A send onto a dead path discovers the break immediately.
+            self._break("connection reset", immediate=True)
+            raise ConnectionClosedError(
+                "%s -> %s" % (sender.local_name, peer.local_name)) from None
+        self.network.stats.stream_messages += 1
+        self.network.stats.stream_bytes += nbytes
+        # In-order delivery: never deliver before an earlier message.
+        arrival = self.sim.now_ms + wire + extra_delay_ms
+        floor = self._last_delivery_ms[id(peer)]
+        arrival = max(arrival, floor)
+        self._last_delivery_ms[id(peer)] = arrival
+
+        def deliver() -> None:
+            if not self.established or not peer.open:
+                return
+            node = self.network.nodes.get(peer.local_name)
+            if node is None or not node.up:
+                return  # the packet arrives at a dead host
+            if peer.on_message is not None:
+                peer.on_message(payload, peer)
+
+        self.sim.schedule_at(arrival, deliver,
+                             label="stream %s->%s" % (sender.local_name,
+                                                      peer.local_name))
+
+    # ------------------------------------------------------------------
+    # Teardown and failure
+    # ------------------------------------------------------------------
+
+    def close(self, initiator: Optional[StreamEndpoint] = None) -> None:
+        """Orderly close: both endpoints see on_close('closed')."""
+        if not self.established:
+            return
+        self.established = False
+        self.network.unregister_connection(self)
+        for endpoint in (self.a, self.b):
+            if endpoint._closed:
+                continue
+            endpoint._mark_closed()
+            if endpoint is initiator:
+                continue
+            if endpoint.on_close is not None:
+                endpoint.on_close("closed", endpoint)
+
+    def recheck(self) -> None:
+        """Called by the network after topology changes; breaks the
+        circuit (after the detection delay) if its path is gone."""
+        if not self.established or self._break_scheduled:
+            return
+        if self.network.reachable(self.a.local_name, self.b.local_name):
+            return
+        self._break_scheduled = True
+        self.sim.schedule(self.detect_ms, self._break, "connection timed out",
+                          label="detect-break %s-%s" % (self.a.local_name,
+                                                        self.b.local_name))
+
+    def _break(self, reason: str, immediate: bool = False) -> None:
+        if not self.established:
+            return
+        # The path may have healed before detection fired.
+        if not immediate and self.network.reachable(self.a.local_name,
+                                                    self.b.local_name):
+            self._break_scheduled = False
+            return
+        self.established = False
+        self.network.unregister_connection(self)
+        self.network.stats.connections_broken += 1
+        for endpoint in (self.a, self.b):
+            if endpoint._closed:
+                continue
+            endpoint._mark_closed()
+            node = self.network.nodes.get(endpoint.local_name)
+            if node is not None and not node.up:
+                continue  # a crashed host hears nothing
+            if endpoint.on_close is not None:
+                endpoint.on_close(reason, endpoint)
+
+    def endpoints(self) -> List[StreamEndpoint]:
+        return [self.a, self.b]
+
+    def __repr__(self) -> str:
+        return "StreamConnection(#%d %s <-> %s, %s)" % (
+            self.conn_id, self.a.local_name, self.b.local_name,
+            "up" if self.established else "down")

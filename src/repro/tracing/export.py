@@ -1,0 +1,101 @@
+"""Structured exporters for graphical front ends.
+
+Section 6: "Work is beginning on graphics interfaces for these tools."
+These exporters are that interface: genealogy forests and overlay
+topologies as Graphviz DOT, and trace histories as JSON — everything a
+display front end needs, without this library prescribing one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from .events import TraceEvent
+
+#: Fill colours per process state in the DOT rendering.
+_STATE_STYLE = {
+    "running": ("ellipse", "white"),
+    "sleeping": ("ellipse", "lightgrey"),
+    "stopped": ("ellipse", "lightyellow"),
+    "exited": ("ellipse", "grey80"),
+}
+
+
+def _quote(text: str) -> str:
+    return '"%s"' % (str(text).replace('"', r'\"'),)
+
+
+def forest_to_dot(forest, title: str = "PPM snapshot") -> str:
+    """A snapshot forest as a DOT digraph, one cluster per host —
+    Figure 1, machine-renderable."""
+    lines = ["digraph ppm {",
+             "  label=%s;" % _quote(title),
+             "  rankdir=TB;",
+             "  node [fontsize=10];"]
+    for index, host in enumerate(sorted(forest.hosts())):
+        lines.append("  subgraph cluster_%d {" % (index,))
+        lines.append("    label=%s;" % _quote(host))
+        for record in forest.by_host(host):
+            shape, fill = _STATE_STYLE.get(record.state,
+                                           ("ellipse", "white"))
+            lines.append(
+                "    %s [label=%s, shape=%s, style=filled, "
+                "fillcolor=%s];"
+                % (_quote(record.gpid),
+                   _quote("%s\\n%s" % (record.command, record.gpid)),
+                   shape, fill))
+        lines.append("  }")
+    for gpid, record in sorted(forest.records.items()):
+        if record.parent is not None and record.parent in forest.records:
+            lines.append("  %s -> %s;" % (_quote(record.parent),
+                                          _quote(gpid)))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def topology_to_dot(hosts: Sequence[str], edges: Iterable[tuple],
+                    title: str = "LPM overlay",
+                    ccs_host: Optional[str] = None) -> str:
+    """The sibling graph as an undirected DOT graph (Figures 3/5); the
+    CCS is highlighted when named."""
+    lines = ["graph overlay {",
+             "  label=%s;" % _quote(title),
+             "  node [shape=box, fontsize=10];"]
+    for host in hosts:
+        attributes = ""
+        if host == ccs_host:
+            attributes = " [style=filled, fillcolor=lightblue, " \
+                         "xlabel=\"CCS\"]"
+        lines.append("  %s%s;" % (_quote(host), attributes))
+    for a, b in sorted({tuple(sorted(edge)) for edge in edges}):
+        lines.append("  %s -- %s;" % (_quote(a), _quote(b)))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def events_to_json(events: List[TraceEvent],
+                   indent: Optional[int] = None) -> str:
+    """A trace history as JSON records (the historical data gathering
+    tool's machine-readable output)."""
+    payload = [{
+        "time_ms": event.time_ms,
+        "type": event.event_type.value,
+        "host": event.host,
+        "user": event.user,
+        "gpid": str(event.gpid) if event.gpid is not None else None,
+        "details": event.details,
+    } for event in events]
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def forest_to_json(forest, indent: Optional[int] = None) -> str:
+    """A snapshot forest as JSON (records plus structure)."""
+    payload = {
+        "taken_at_ms": forest.taken_at_ms,
+        "missing_hosts": sorted(forest.missing_hosts),
+        "roots": [str(root) for root in forest.roots()],
+        "records": [forest.records[gpid].to_dict()
+                    for gpid in sorted(forest.records)],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,103 @@
+"""The historical store behind history-dependent management.
+
+Section 1: multiple-process computations need "not only powerful and
+flexible mechanisms for process control but also historical processing
+information.  In this way history dependent events can be set by users
+to trigger process state changes."  The :class:`HistoryStore` keeps
+events queryable after the processes (and even the LPMs) that produced
+them are gone — "extensive historical information about the processing
+that took place while the user was logged off should also be
+accessible" (section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ids import GlobalPid
+from .events import TraceEvent, TraceEventType
+from .recorder import TraceRecorder
+
+
+class HistoryStore:
+    """Indexes trace events by process and by type.
+
+    Attach to a recorder with :meth:`follow`, or feed events directly
+    with :meth:`add`.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._by_gpid: Dict[GlobalPid, List[TraceEvent]] = {}
+        self._by_type: Dict[TraceEventType, List[TraceEvent]] = {}
+        self._recorder: Optional[TraceRecorder] = None
+
+    def follow(self, recorder: TraceRecorder,
+               include_existing: bool = True) -> None:
+        """Subscribe to a recorder's live feed."""
+        if include_existing:
+            for event in recorder.events:
+                self.add(event)
+        recorder.subscribe(self.add)
+        self._recorder = recorder
+
+    def unfollow(self) -> None:
+        if self._recorder is not None:
+            self._recorder.unsubscribe(self.add)
+            self._recorder = None
+
+    def add(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        if event.gpid is not None:
+            self._by_gpid.setdefault(event.gpid, []).append(event)
+        self._by_type.setdefault(event.event_type, []).append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def all_events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def events_for(self, gpid: GlobalPid) -> List[TraceEvent]:
+        """Full per-process history."""
+        return list(self._by_gpid.get(gpid, []))
+
+    def events_of_type(self, event_type: TraceEventType) -> List[TraceEvent]:
+        return list(self._by_type.get(event_type, []))
+
+    def in_window(self, now_ms: float, window_ms: float,
+                  event_type: Optional[TraceEventType] = None,
+                  gpid: Optional[GlobalPid] = None) -> List[TraceEvent]:
+        """Events within the trailing window — the raw material of
+        history-dependent triggers ("third failure within N seconds")."""
+        if event_type is not None:
+            pool = self._by_type.get(event_type, [])
+        elif gpid is not None:
+            pool = self._by_gpid.get(gpid, [])
+        else:
+            pool = self._events
+        floor = now_ms - window_ms
+        return [e for e in pool
+                if e.time_ms >= floor
+                and (gpid is None or e.gpid == gpid)
+                and (event_type is None or e.event_type is event_type)]
+
+    def count_in_window(self, now_ms: float, window_ms: float,
+                        event_type: Optional[TraceEventType] = None,
+                        gpid: Optional[GlobalPid] = None) -> int:
+        return len(self.in_window(now_ms, window_ms, event_type, gpid))
+
+    def last_event(self, gpid: GlobalPid) -> Optional[TraceEvent]:
+        events = self._by_gpid.get(gpid)
+        return events[-1] if events else None
+
+    def first_event(self, gpid: GlobalPid) -> Optional[TraceEvent]:
+        events = self._by_gpid.get(gpid)
+        return events[0] if events else None
+
+    def known_processes(self) -> List[GlobalPid]:
+        return sorted(self._by_gpid)
+
+    def __len__(self) -> int:
+        return len(self._events)

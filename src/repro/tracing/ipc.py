@@ -1,0 +1,109 @@
+"""IPC activity tracing and analysis.
+
+The last tool on section 7's list: "one for IPC activity tracing and
+analysis."  At FINE granularity every sibling-LPM message is recorded as
+a SIBLING_MESSAGE event (sender host, peer, message kind, size); these
+functions reduce that trace into the views an administrator reads —
+traffic matrices, per-kind volumes, and hot links.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from ..util import format_table
+from .events import TraceEvent, TraceEventType
+
+
+def _sibling_events(events: List[TraceEvent]) -> List[TraceEvent]:
+    return [event for event in events
+            if event.event_type is TraceEventType.SIBLING_MESSAGE]
+
+
+def ipc_matrix(events: List[TraceEvent]) -> Dict[Tuple[str, str], dict]:
+    """Directed traffic matrix: (sender, peer) -> messages and bytes."""
+    matrix: Dict[Tuple[str, str], dict] = defaultdict(
+        lambda: {"messages": 0, "bytes": 0, "forwarded": 0})
+    for event in _sibling_events(events):
+        key = (event.host, event.details.get("peer", "?"))
+        cell = matrix[key]
+        cell["messages"] += 1
+        cell["bytes"] += event.details.get("nbytes", 0)
+        if event.details.get("forwarded"):
+            cell["forwarded"] += 1
+    return dict(matrix)
+
+
+def ipc_by_kind(events: List[TraceEvent]) -> Dict[str, dict]:
+    """Volume per protocol message kind."""
+    kinds: Dict[str, dict] = defaultdict(
+        lambda: {"messages": 0, "bytes": 0})
+    for event in _sibling_events(events):
+        cell = kinds[event.details.get("kind", "?")]
+        cell["messages"] += 1
+        cell["bytes"] += event.details.get("nbytes", 0)
+    return dict(kinds)
+
+
+def hottest_links(events: List[TraceEvent], top: int = 5
+                  ) -> List[Tuple[Tuple[str, str], int]]:
+    """Undirected link load, busiest first."""
+    loads: Dict[Tuple[str, str], int] = defaultdict(int)
+    for event in _sibling_events(events):
+        pair = tuple(sorted((event.host, event.details.get("peer", "?"))))
+        loads[pair] += 1
+    return sorted(loads.items(), key=lambda item: (-item[1], item[0]))[:top]
+
+
+def render_ipc_matrix(events: List[TraceEvent]) -> str:
+    """The IPC analysis tool's main view."""
+    matrix = ipc_matrix(events)
+    if not matrix:
+        return "no sibling-LPM traffic recorded (granularity FINE needed)"
+    rows = [[src, dst, cell["messages"], cell["bytes"], cell["forwarded"]]
+            for (src, dst), cell in sorted(matrix.items())]
+    return format_table(
+        ["from", "to", "messages", "bytes", "forwards"],
+        rows, title="IPC activity between sibling LPMs")
+
+
+def user_ipc_matrix(events: List[TraceEvent]
+                    ) -> Dict[Tuple[str, str], dict]:
+    """Traffic between *user processes* (USER_IPC events): sender gpid
+    -> peer gpid, messages and bytes.  The conversations the paper
+    notes "need not have a common ancestor nor reside in the same
+    host" (section 1)."""
+    matrix: Dict[Tuple[str, str], dict] = defaultdict(
+        lambda: {"messages": 0, "bytes": 0})
+    for event in events:
+        if event.event_type is not TraceEventType.USER_IPC:
+            continue
+        key = (str(event.gpid), event.details.get("peer", "?"))
+        cell = matrix[key]
+        cell["messages"] += 1
+        cell["bytes"] += event.details.get("nbytes", 0)
+    return dict(matrix)
+
+
+def render_user_ipc(events: List[TraceEvent]) -> str:
+    """The user-process side of the IPC analysis tool."""
+    matrix = user_ipc_matrix(events)
+    if not matrix:
+        return "no user-process IPC recorded (granularity FINE needed)"
+    rows = [[src, dst, cell["messages"], cell["bytes"]]
+            for (src, dst), cell in sorted(matrix.items())]
+    return format_table(["from process", "to process", "messages",
+                         "bytes"], rows,
+                        title="IPC activity between user processes")
+
+
+def render_ipc_by_kind(events: List[TraceEvent]) -> str:
+    kinds = ipc_by_kind(events)
+    if not kinds:
+        return "no sibling-LPM traffic recorded (granularity FINE needed)"
+    rows = [[kind, cell["messages"], cell["bytes"]]
+            for kind, cell in sorted(kinds.items(),
+                                     key=lambda item: -item[1]["messages"])]
+    return format_table(["message kind", "messages", "bytes"], rows,
+                        title="IPC volume by protocol message kind")

@@ -1,0 +1,83 @@
+"""The trace recorder: an append-only event log with granularity control
+and live subscribers (the hook the trigger engine attaches to)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..ids import GlobalPid
+from .events import Granularity, TraceEvent, TraceEventType, admitted
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records for one world or session.
+
+    The recorder is deliberately dumb storage; querying and aggregation
+    live in :mod:`repro.tracing.history` and
+    :mod:`repro.tracing.reduction`.
+    """
+
+    def __init__(self, now_fn: Callable[[], float],
+                 granularity: Granularity = Granularity.FINE,
+                 capacity: Optional[int] = None) -> None:
+        self._now_fn = now_fn
+        self.granularity = granularity
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def set_granularity(self, granularity: Granularity) -> None:
+        """Adjust how much is recorded from now on."""
+        self.granularity = granularity
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Receive every admitted event as it is recorded."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def record(self, event_type: TraceEventType, host: str,
+               user: str = "", gpid: Optional[GlobalPid] = None,
+               **details) -> Optional[TraceEvent]:
+        """Record one event; returns it, or None when filtered out."""
+        if not admitted(event_type, self.granularity):
+            self.dropped += 1
+            return None
+        event = TraceEvent(time_ms=self._now_fn(), event_type=event_type,
+                           host=host, user=user, gpid=gpid, details=details)
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.events.pop(0)
+        self.events.append(event)
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+        return event
+
+    def select(self, event_type: Optional[TraceEventType] = None,
+               host: Optional[str] = None,
+               gpid: Optional[GlobalPid] = None,
+               since_ms: Optional[float] = None,
+               until_ms: Optional[float] = None) -> List[TraceEvent]:
+        """Filtered view of the log."""
+        result = []
+        for event in self.events:
+            if not event.matches(event_type, host, gpid):
+                continue
+            if since_ms is not None and event.time_ms < since_ms:
+                continue
+            if until_ms is not None and event.time_ms > until_ms:
+                continue
+            result.append(event)
+        return result
+
+    def count(self, event_type: Optional[TraceEventType] = None) -> int:
+        return len(self.select(event_type=event_type))
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)

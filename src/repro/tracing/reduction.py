@@ -1,0 +1,76 @@
+"""Data-reduction tools.
+
+The PPM "interfaces with several data analysis and data representation
+tools" (abstract).  These functions are the analysis side: they reduce
+raw trace histories into the summaries users act on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..ids import GlobalPid
+from .events import TraceEvent, TraceEventType
+
+
+def event_counts(events: List[TraceEvent]) -> Dict[str, int]:
+    """How many events of each type occurred."""
+    return dict(Counter(event.event_type.value for event in events))
+
+
+def process_lifetimes(events: List[TraceEvent],
+                      now_ms: Optional[float] = None
+                      ) -> Dict[GlobalPid, Tuple[float, Optional[float]]]:
+    """Map each process to ``(first_seen_ms, exit_ms_or_None)``."""
+    lifetimes: Dict[GlobalPid, Tuple[float, Optional[float]]] = {}
+    for event in events:
+        if event.gpid is None:
+            continue
+        start, end = lifetimes.get(event.gpid, (event.time_ms, None))
+        start = min(start, event.time_ms)
+        if event.event_type is TraceEventType.EXIT:
+            end = event.time_ms
+        lifetimes[event.gpid] = (start, end)
+    return lifetimes
+
+
+def per_command_usage(records) -> Dict[str, dict]:
+    """Aggregate exited-process resource statistics by command name.
+
+    ``records`` is an iterable of objects carrying ``command`` and a
+    ``rusage`` dict (the payload of the rstats tool); the result powers
+    the paper's "exited process resource consumption statistics" view.
+    """
+    totals: Dict[str, dict] = defaultdict(
+        lambda: {"count": 0, "utime_ms": 0.0, "forks": 0, "signals": 0})
+    for record in records:
+        rusage = record.rusage if isinstance(record.rusage, dict) else {}
+        entry = totals[record.command]
+        entry["count"] += 1
+        entry["utime_ms"] += rusage.get("utime_ms", 0.0)
+        entry["forks"] += rusage.get("forks", 0)
+        entry["signals"] += rusage.get("signals", 0)
+    return dict(totals)
+
+
+def message_rate(events: List[TraceEvent], bucket_ms: float
+                 ) -> List[Tuple[float, int]]:
+    """Communication events per time bucket (IPC activity analysis)."""
+    comm_types = {TraceEventType.BROADCAST_SENT,
+                  TraceEventType.BROADCAST_FORWARDED,
+                  TraceEventType.KERNEL_MESSAGE,
+                  TraceEventType.TOOL_REQUEST}
+    buckets: Dict[int, int] = defaultdict(int)
+    for event in events:
+        if event.event_type in comm_types:
+            buckets[int(event.time_ms // bucket_ms)] += 1
+    return sorted((index * bucket_ms, count)
+                  for index, count in buckets.items())
+
+
+def busiest_hosts(events: List[TraceEvent], top: int = 5
+                  ) -> List[Tuple[str, int]]:
+    """Hosts ranked by recorded activity."""
+    counts = Counter(event.host for event in events)
+    return counts.most_common(top)

@@ -1,0 +1,109 @@
+"""History-dependent triggers.
+
+The capability the paper claims over task forces and configuration
+languages (section 1): users can set "event driven user defined
+actions" (section 8) whose conditions may consult the processing
+history.  A :class:`Trigger` pairs a predicate over ``(event, history)``
+with an action; the :class:`TriggerEngine` evaluates triggers on every
+recorded event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .events import TraceEvent, TraceEventType
+from .history import HistoryStore
+from .recorder import TraceRecorder
+
+
+@dataclass
+class Trigger:
+    """One user-defined, possibly history-dependent rule.
+
+    ``predicate(event, history)`` decides whether to fire;
+    ``action(event)`` is the user's reaction (typically a PPM control
+    call).  ``once`` disarms the trigger after its first firing;
+    ``max_firings`` bounds repetition.
+    """
+
+    name: str
+    action: Callable[[TraceEvent], None]
+    event_type: Optional[TraceEventType] = None
+    predicate: Optional[Callable[[TraceEvent, HistoryStore], bool]] = None
+    once: bool = False
+    max_firings: Optional[int] = None
+    firings: int = field(default=0)
+    armed: bool = field(default=True)
+
+    def should_fire(self, event: TraceEvent, history: HistoryStore) -> bool:
+        if not self.armed:
+            return False
+        if self.event_type is not None and event.event_type is not self.event_type:
+            return False
+        if self.predicate is not None and not self.predicate(event, history):
+            return False
+        return True
+
+    def fire(self, event: TraceEvent) -> None:
+        self.firings += 1
+        if self.once or (self.max_firings is not None
+                         and self.firings >= self.max_firings):
+            self.armed = False
+        self.action(event)
+
+
+@dataclass(frozen=True)
+class TriggerFiring:
+    """A record of one firing, kept by the engine for inspection."""
+
+    trigger_name: str
+    event: TraceEvent
+    time_ms: float
+
+
+class TriggerEngine:
+    """Evaluates triggers against the live event feed."""
+
+    def __init__(self, recorder: TraceRecorder,
+                 history: Optional[HistoryStore] = None) -> None:
+        self.recorder = recorder
+        self.history = history if history is not None else HistoryStore()
+        if history is None:
+            self.history.follow(recorder, include_existing=True)
+        self.triggers: List[Trigger] = []
+        self.firings: List[TriggerFiring] = []
+        self._evaluating = False
+        recorder.subscribe(self._on_event)
+
+    def add(self, trigger: Trigger) -> Trigger:
+        self.triggers.append(trigger)
+        return trigger
+
+    def remove(self, trigger: Trigger) -> None:
+        if trigger in self.triggers:
+            self.triggers.remove(trigger)
+
+    def _on_event(self, event: TraceEvent) -> None:
+        if event.event_type is TraceEventType.TRIGGER_FIRED:
+            return  # never trigger on our own bookkeeping
+        if self._evaluating:
+            return  # actions that record events must not recurse
+        self._evaluating = True
+        try:
+            for trigger in list(self.triggers):
+                if trigger.should_fire(event, self.history):
+                    self.firings.append(TriggerFiring(
+                        trigger_name=trigger.name, event=event,
+                        time_ms=event.time_ms))
+                    self.recorder.record(TraceEventType.TRIGGER_FIRED,
+                                         host=event.host, user=event.user,
+                                         gpid=event.gpid,
+                                         trigger=trigger.name)
+                    trigger.fire(event)
+        finally:
+            self._evaluating = False
+
+    def close(self) -> None:
+        self.recorder.unsubscribe(self._on_event)

@@ -1,0 +1,67 @@
+"""Simulated 4.3BSD substrate.
+
+The paper's PPM runs on enhanced Berkeley UNIX hosts: it adopts processes
+through an extended ``ptrace``, receives kernel event messages from
+modified system calls, and is bootstrapped by the ``inetd`` and ``pmd``
+system daemons.  This package simulates exactly that surface — process
+tables, fork/exec/exit/signals, run-queue load averages, home-directory
+files (``.recovery``, ``.rhosts``), user accounts, and the two daemons —
+on top of :mod:`repro.netsim`.
+"""
+
+from .signals import Signal, default_action, SignalAction
+from .process import Process, ProcState, Rusage, TraceFlag
+from .proctable import ProcessTable
+from .loadavg import LoadAverage
+from .filesystem import SimFilesystem
+from .users import UserAccount, UserRegistry
+from .kernel import Kernel, KernelMessage, KernelEvent
+from .ipc import UserChannel, UserIpc
+from .programs import (
+    Program,
+    SpinnerProgram,
+    SleeperProgram,
+    WorkerProgram,
+    FileWorkerProgram,
+    ForkTreeProgram,
+    EchoProgram,
+    TalkerProgram,
+)
+from .inetd import InetDaemon
+from .nameserver import CcsNameServer
+from .pmd import ProcessManagerDaemon
+from .host import Host
+from .world import World
+
+__all__ = [
+    "Signal",
+    "SignalAction",
+    "default_action",
+    "Process",
+    "ProcState",
+    "Rusage",
+    "TraceFlag",
+    "ProcessTable",
+    "LoadAverage",
+    "SimFilesystem",
+    "UserAccount",
+    "UserRegistry",
+    "Kernel",
+    "KernelMessage",
+    "KernelEvent",
+    "Program",
+    "SpinnerProgram",
+    "SleeperProgram",
+    "WorkerProgram",
+    "FileWorkerProgram",
+    "ForkTreeProgram",
+    "EchoProgram",
+    "TalkerProgram",
+    "UserChannel",
+    "UserIpc",
+    "InetDaemon",
+    "CcsNameServer",
+    "ProcessManagerDaemon",
+    "Host",
+    "World",
+]

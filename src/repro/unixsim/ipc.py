@@ -1,0 +1,146 @@
+"""User-level interprocess communication (4.3BSD sockets).
+
+Section 1: "In Berkeley UNIX 4.3BSD interprocess communication can be
+accomplished using different addressing families and styles of
+communication.  Two processes wishing to communicate need not have a
+common ancestor nor reside in the same host."  The PPM does not manage
+these conversations — but they are why arbitrary genealogies arise, and
+the IPC activity tracing tool (section 7) analyses them.
+
+A process listens on its ``<host, pid>`` identity; any other process of
+any user on any host may connect and exchange messages over a reliable
+stream.  Traffic is recorded as USER_IPC trace events and counted in
+the sender's rusage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import NoSuchProcessError
+from ..ids import GlobalPid
+from ..netsim.stream import StreamConnection
+from ..tracing.events import TraceEventType
+from ..util import Deferred
+
+
+def _service_name(pid: int) -> str:
+    return "uipc:%d" % (pid,)
+
+
+class UserChannel:
+    """One end of a user-level stream conversation."""
+
+    def __init__(self, ipc: "UserIpc", endpoint, local: GlobalPid,
+                 peer: GlobalPid) -> None:
+        self._ipc = ipc
+        self._endpoint = endpoint
+        self.local = local
+        self.peer = peer
+        self.sent = 0
+        self.received = 0
+        #: Installed by the owner: ``on_message(data, channel)``.
+        self.on_message: Optional[Callable] = None
+        self.on_close: Optional[Callable] = None
+        endpoint.on_message = self._deliver
+        endpoint.on_close = self._closed
+
+    @property
+    def open(self) -> bool:
+        return self._endpoint.open
+
+    def send(self, data, nbytes: int = 128) -> None:
+        """Send one message; counted against the sender's rusage and
+        traced for the IPC analysis tool."""
+        host = self._ipc.world.hosts.get(self.local.host)
+        if host is not None and host.up:
+            proc = host.kernel.procs.find(self.local.pid)
+            if proc is not None:
+                proc.rusage.messages_sent += 1
+            host.trace(TraceEventType.USER_IPC, gpid=self.local,
+                       peer=str(self.peer), nbytes=nbytes)
+        self.sent += 1
+        self._endpoint.send(data, nbytes=nbytes)
+
+    def close(self) -> None:
+        if self._endpoint.open:
+            self._endpoint.close()
+
+    def _deliver(self, data, endpoint) -> None:
+        self.received += 1
+        if self.on_message is not None:
+            self.on_message(data, self)
+
+    def _closed(self, reason, endpoint) -> None:
+        if self.on_close is not None:
+            self.on_close(reason, self)
+
+    def __repr__(self) -> str:
+        return "UserChannel(%s <-> %s, %s)" % (
+            self.local, self.peer, "open" if self.open else "closed")
+
+
+class UserIpc:
+    """The world's user-level IPC fabric."""
+
+    def __init__(self, world) -> None:
+        self.world = world
+        #: gpid -> acceptor(channel) for listening processes.
+        self._listeners: Dict[GlobalPid, Callable] = {}
+        self.connections_made = 0
+
+    # ------------------------------------------------------------------
+    # Listening
+    # ------------------------------------------------------------------
+
+    def listen(self, gpid: GlobalPid,
+               acceptor: Callable[[UserChannel], None]) -> None:
+        """A process starts accepting connections on its identity."""
+        host = self.world.host(gpid.host)
+        proc = host.kernel.procs.find(gpid.pid)
+        if proc is None or not proc.alive:
+            raise NoSuchProcessError(str(gpid))
+        self._listeners[gpid] = acceptor
+
+        def accept(endpoint, payload) -> None:
+            src = GlobalPid(payload["src"][0], payload["src"][1])
+            channel = UserChannel(self, endpoint, local=gpid, peer=src)
+            current = self._listeners.get(gpid)
+            target = host.kernel.procs.find(gpid.pid)
+            if current is None or target is None or not target.alive:
+                endpoint.close()
+                return
+            current(channel)
+
+        host.node.listen(_service_name(gpid.pid), accept)
+
+    def unlisten(self, gpid: GlobalPid) -> None:
+        self._listeners.pop(gpid, None)
+        host = self.world.hosts.get(gpid.host)
+        if host is not None:
+            host.node.unlisten(_service_name(gpid.pid))
+
+    # ------------------------------------------------------------------
+    # Connecting
+    # ------------------------------------------------------------------
+
+    def connect(self, src: GlobalPid, dst: GlobalPid,
+                setup_ms: float = 10.0) -> Deferred:
+        """Open a conversation; resolves to a :class:`UserChannel` or
+        None on failure.  No common ancestor, no same-host requirement —
+        exactly the 4.3BSD property the paper highlights."""
+        done = Deferred()
+
+        def established(endpoint) -> None:
+            channel = UserChannel(self, endpoint, local=src, peer=dst)
+            self.connections_made += 1
+            done.resolve(channel)
+
+        StreamConnection.connect(
+            self.world.network, src.host, dst.host,
+            _service_name(dst.pid),
+            payload={"src": [src.host, src.pid]},
+            setup_ms=setup_ms,
+            on_established=established,
+            on_failed=lambda reason: done.resolve(None))
+        return done

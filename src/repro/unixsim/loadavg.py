@@ -1,0 +1,59 @@
+"""The load estimator of Table 1: a time-averaged CPU run-queue length.
+
+The paper's ``la`` is the classic UNIX exponentially damped average of
+the run-queue length.  We integrate it exactly in continuous time: the
+average decays toward the instantaneous runnable count ``n`` with time
+constant ``tau``, so over an interval of length ``dt`` with constant
+``n``::
+
+    la' = n + (la - n) * exp(-dt / tau)
+
+Updates happen lazily whenever the runnable count changes or the value
+is read, which keeps the estimator exact and free of periodic timers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+
+class LoadAverage:
+    """Exponentially damped run-queue average."""
+
+    def __init__(self, now_fn: Callable[[], float],
+                 runnable_fn: Callable[[], int],
+                 tau_ms: float = 60_000.0) -> None:
+        self._now_fn = now_fn
+        self._runnable_fn = runnable_fn
+        self.tau_ms = tau_ms
+        self._value = 0.0
+        self._last_ms = now_fn()
+        self._last_n = runnable_fn()
+
+    def _integrate_to(self, now_ms: float) -> None:
+        dt = now_ms - self._last_ms
+        if dt > 0:
+            decay = math.exp(-dt / self.tau_ms)
+            self._value = self._last_n + (self._value - self._last_n) * decay
+            self._last_ms = now_ms
+
+    def note_change(self) -> None:
+        """Call when the runnable count may have changed."""
+        self._integrate_to(self._now_fn())
+        self._last_n = self._runnable_fn()
+
+    def value(self) -> float:
+        """Current ``la``."""
+        self._integrate_to(self._now_fn())
+        self._last_n = self._runnable_fn()
+        return self._value
+
+    def force(self, value: float) -> None:
+        """Pin the average (used by calibration tests)."""
+        self._value = value
+        self._last_ms = self._now_fn()
+        self._last_n = self._runnable_fn()
+
+    def __repr__(self) -> str:
+        return "LoadAverage(la=%.2f, n=%d)" % (self._value, self._last_n)

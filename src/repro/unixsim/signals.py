@@ -1,0 +1,59 @@
+"""Software interrupts (signals), 4.3BSD numbering.
+
+The PPM's control tools ultimately act by delivering signals — "stop a
+process, execute it in the foreground, execute it in the background, kill
+it" (section 4) — so the simulated kernel implements the relevant subset
+with BSD default actions.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum
+
+
+class Signal(IntEnum):
+    """Signal numbers as in 4.3BSD."""
+
+    SIGHUP = 1
+    SIGINT = 2
+    SIGQUIT = 3
+    SIGKILL = 9
+    SIGTERM = 15
+    SIGSTOP = 17
+    SIGTSTP = 18
+    SIGCONT = 19
+    SIGCHLD = 20
+    SIGUSR1 = 30
+    SIGUSR2 = 31
+
+
+class SignalAction(Enum):
+    """What the kernel does by default on delivery."""
+
+    TERMINATE = "terminate"
+    STOP = "stop"
+    CONTINUE = "continue"
+    IGNORE = "ignore"
+
+
+_DEFAULT_ACTIONS = {
+    Signal.SIGHUP: SignalAction.TERMINATE,
+    Signal.SIGINT: SignalAction.TERMINATE,
+    Signal.SIGQUIT: SignalAction.TERMINATE,
+    Signal.SIGKILL: SignalAction.TERMINATE,
+    Signal.SIGTERM: SignalAction.TERMINATE,
+    Signal.SIGSTOP: SignalAction.STOP,
+    Signal.SIGTSTP: SignalAction.STOP,
+    Signal.SIGCONT: SignalAction.CONTINUE,
+    Signal.SIGCHLD: SignalAction.IGNORE,
+    Signal.SIGUSR1: SignalAction.TERMINATE,
+    Signal.SIGUSR2: SignalAction.TERMINATE,
+}
+
+#: Signals whose action cannot be blocked or handled, as in UNIX.
+UNCATCHABLE = frozenset({Signal.SIGKILL, Signal.SIGSTOP})
+
+
+def default_action(signal: Signal) -> SignalAction:
+    """The BSD default disposition for ``signal``."""
+    return _DEFAULT_ACTIONS[signal]

@@ -1,0 +1,94 @@
+"""User accounts and user-level authentication.
+
+Section 4: "It is the responsibility of network system administrators to
+have consistent password files across machines that trust each other.
+Authentication at the user level is done using the existing 4.3BSD
+facilities, including the use of .rhosts files."  We model exactly that:
+a per-host password file (:class:`UserRegistry`) and an ``.rhosts`` check
+that grants a remote ``user@host`` access to the local account.
+
+Host-level masquerade is *not* defended against, as in the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import AuthenticationError
+
+
+def _hash_password(password: str) -> str:
+    return hashlib.sha256(password.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class UserAccount:
+    """One line of the simulated password file."""
+
+    name: str
+    uid: int
+    password_hash: str
+    home: str
+
+    @classmethod
+    def create(cls, name: str, uid: int, password: str) -> "UserAccount":
+        return cls(name=name, uid=uid,
+                   password_hash=_hash_password(password),
+                   home="/usr/%s" % (name,))
+
+
+class UserRegistry:
+    """The password file of one host."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, UserAccount] = {}
+
+    def add(self, account: UserAccount) -> None:
+        self._by_name[account.name] = account
+
+    def lookup(self, name: str) -> Optional[UserAccount]:
+        return self._by_name.get(name)
+
+    def require(self, name: str) -> UserAccount:
+        account = self.lookup(name)
+        if account is None:
+            raise AuthenticationError("no account for %r" % (name,))
+        return account
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def check_password(self, name: str, password: str) -> bool:
+        account = self.lookup(name)
+        return (account is not None
+                and account.password_hash == _hash_password(password))
+
+    def consistent_with(self, other: "UserRegistry", name: str) -> bool:
+        """Do both password files agree on this user?  Trusting hosts are
+        required to keep them consistent (section 4)."""
+        mine = self.lookup(name)
+        theirs = other.lookup(name)
+        return (mine is not None and theirs is not None
+                and mine.uid == theirs.uid
+                and mine.password_hash == theirs.password_hash)
+
+
+def rhosts_permits(entries: List[str], remote_host: str,
+                   remote_user: str, local_user: str) -> bool:
+    """Evaluate ``.rhosts`` lines for an incoming ``remote_user@remote_host``
+    wanting to act as ``local_user``.
+
+    A line is either ``host`` (grants the same user name only) or
+    ``host user``.
+    """
+    for entry in entries:
+        parts = entry.split()
+        if not parts:
+            continue
+        host = parts[0]
+        user = parts[1] if len(parts) > 1 else local_user
+        if host == remote_host and user == remote_user:
+            return True
+    return False

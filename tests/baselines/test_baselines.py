@@ -1,0 +1,145 @@
+"""Tests for the csh and rexec baselines, including the control-coverage
+gap the PPM closes."""
+
+import pytest
+
+from repro import PPMClient, fork_tree_spec, spinner_spec
+from repro.baselines import CshJobControl, RexecClient, install_rexecd
+from repro.unixsim import ProcState, SpinnerProgram
+from repro.unixsim.signals import Signal
+
+from ..core.conftest import build_world
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+class TestCsh:
+    def test_pipeline_control(self, world):
+        shell = CshJobControl(world.host("alpha"), "lfc")
+        job = shell.run_pipeline([("cat", SpinnerProgram(None)),
+                                  ("grep", SpinnerProgram(None)),
+                                  ("wc", SpinnerProgram(None))])
+        stopped = shell.stop(job)
+        assert len(stopped) == 3
+        procs = shell.visible_processes()
+        assert all(p.state is ProcState.STOPPED for p in procs)
+        shell.cont(job)
+        assert all(p.state is ProcState.RUNNING
+                   for p in shell.visible_processes())
+        shell.kill(job)
+        assert not shell.visible_processes()
+
+    def test_grandchildren_unreachable(self, world):
+        # The pipeline paradigm breaks on arbitrary genealogies.
+        host = world.host("alpha")
+        shell = CshJobControl(host, "lfc")
+        job = shell.run_pipeline([("master", SpinnerProgram(None))])
+        (master_pid,) = shell.jobs[job]
+        grandchild = host.kernel.spawn(1001, "worker", ppid=master_pid,
+                                       program=SpinnerProgram(None))
+        shell.kill(job)
+        world.run_for(100.0)
+        assert grandchild.alive  # csh never touched it
+
+    def test_coverage_metric(self, world):
+        host = world.host("alpha")
+        shell = CshJobControl(host, "lfc")
+        job = shell.run_pipeline([("a", SpinnerProgram(None))])
+        (pid,) = shell.jobs[job]
+        grandchild = host.kernel.spawn(1001, "b", ppid=pid,
+                                       program=SpinnerProgram(None))
+        computation = [("alpha", pid), ("alpha", grandchild.pid),
+                       ("beta", 42)]
+        assert shell.coverage_of(computation) == pytest.approx(1 / 3)
+        assert shell.coverage_of([]) == 1.0
+
+
+class TestRexec:
+    @pytest.fixture
+    def rexec_world(self, world):
+        install_rexecd(world)
+        return world
+
+    def test_remote_execution(self, rexec_world):
+        client = RexecClient(rexec_world, "lfc", "secret", "alpha")
+        gpid = client.rexec("beta", "job", spinner_spec(None))
+        proc = rexec_world.host("beta").kernel.procs.get(gpid.pid)
+        assert proc.command == "job"
+        assert proc.uid == 1001
+
+    def test_bad_password_rejected(self, rexec_world):
+        from repro import PPMError
+        client = RexecClient(rexec_world, "lfc", "wrong", "alpha")
+        with pytest.raises(PPMError):
+            client.rexec("beta", "job", spinner_spec(None))
+
+    def test_signal_created_process(self, rexec_world):
+        client = RexecClient(rexec_world, "lfc", "secret", "alpha")
+        gpid = client.rexec("beta", "job", spinner_spec(None))
+        assert client.signal(gpid, Signal.SIGSTOP)
+        proc = rexec_world.host("beta").kernel.procs.get(gpid.pid)
+        assert proc.state is ProcState.STOPPED
+
+    def test_children_of_remote_process_unreachable(self, rexec_world):
+        # "no provision ... for separately signalling any children of
+        # the remote process"
+        client = RexecClient(rexec_world, "lfc", "secret", "alpha")
+        spec = fork_tree_spec([("child", 50.0, spinner_spec(None))])
+        root = client.rexec("beta", "forker", spec)
+        rexec_world.run_for(500.0)
+        killed = client.kill_everything_i_know()
+        rexec_world.run_for(100.0)
+        assert killed == [root]
+        children = [p for p in rexec_world.host("beta").kernel.procs
+                    if p.command == "child" and p.alive]
+        assert children  # the orphan survives the hunt
+
+    def test_every_call_opens_a_fresh_connection(self, rexec_world):
+        client = RexecClient(rexec_world, "lfc", "secret", "alpha")
+        gpid = client.rexec("beta", "job", spinner_spec(None))
+        opened_before = rexec_world.network.stats.connections_opened
+        client.signal(gpid, Signal.SIGSTOP)
+        client.signal(gpid, Signal.SIGCONT)
+        assert rexec_world.network.stats.connections_opened == \
+            opened_before + 2
+        assert rexec_world.network.open_connection_count() == 0
+
+    def test_signal_dead_process_reports_failure(self, rexec_world):
+        client = RexecClient(rexec_world, "lfc", "secret", "alpha")
+        gpid = client.rexec("beta", "job", spinner_spec(None))
+        client.signal(gpid, Signal.SIGKILL)
+        rexec_world.run_for(100.0)
+        assert not client.signal(gpid, Signal.SIGSTOP)
+
+
+class TestCoverageGap:
+    def test_ppm_reaches_what_baselines_cannot(self, world):
+        # One distributed computation; three mechanisms try to stop it.
+        install_rexecd(world)
+        ppm_client = PPMClient(world, "lfc", "alpha").connect()
+        spec = fork_tree_spec([("grandchild", 50.0, spinner_spec(None))])
+        root = ppm_client.create_process("root", program=spec)
+        remote = ppm_client.create_process("remote", host="beta",
+                                           parent=root, program=spec)
+        world.run_for(1_000.0)
+        forest = ppm_client.snapshot(prune=False)
+        all_procs = [(g.host, g.pid) for g in
+                     [root] + forest.descendants(root)]
+        assert len(all_procs) == 4  # root, grandchild, remote, its child
+
+        shell = CshJobControl(world.host("alpha"), "lfc")
+        assert shell.coverage_of(all_procs) == 0.0  # not its children
+
+        rexec = RexecClient(world, "lfc", "secret", "alpha")
+        rexec.created.append(remote)  # it "knows" the remote root only
+        reachable = {(g.host, g.pid) for g in rexec.created}
+        assert len(reachable & set(all_procs)) / len(all_procs) == 0.25
+
+        # The PPM stops everything.
+        from repro import ControlAction
+        results = [ppm_client.control(g, ControlAction.STOP)
+                   for g in [root] + forest.descendants(root)]
+        assert all(r["ok"] for r in results)

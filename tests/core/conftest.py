@@ -1,0 +1,46 @@
+"""Shared fixtures for the core (PPM) tests."""
+
+import pytest
+
+from repro import (
+    HostClass,
+    PersonalProcessManager,
+    PPMConfig,
+    World,
+    install,
+)
+
+
+def build_world(seed=7, config=None, host_specs=None, user="lfc",
+                recovery=None):
+    """A ready world with LPM support installed and one user account."""
+    world = World(seed=seed, config=config or PPMConfig())
+    specs = host_specs or [("alpha", HostClass.VAX_780),
+                           ("beta", HostClass.VAX_750),
+                           ("gamma", HostClass.SUN_2),
+                           ("delta", HostClass.VAX_780)]
+    for name, host_class in specs:
+        world.add_host(name, host_class)
+    world.ethernet()
+    world.add_user(user, 1001)
+    world.add_user("ramon", 1002)
+    install(world)
+    if recovery is not None:
+        world.write_recovery_file(user, recovery)
+    return world
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+@pytest.fixture
+def ppm(world):
+    manager = PersonalProcessManager(world, "lfc", "alpha",
+                                     recovery_hosts=["alpha", "beta"])
+    return manager.start()
+
+
+def lpm_of(world, host, user="lfc"):
+    return world.lpms[(host, user)]

@@ -1,0 +1,92 @@
+"""Tests for the broadcast engine: signed timestamps and the retention
+window (section 4)."""
+
+from repro.core.broadcast import MAX_BROADCAST_HOPS, BroadcastEngine
+from repro.ids import BroadcastId
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def engine(window_ms=1000.0, secret="s3cret", clock=None):
+    clock = clock or FakeClock()
+    return BroadcastEngine("alpha", window_ms, clock, lambda: secret), clock
+
+
+def test_stamp_is_signed_and_self_seen():
+    eng, _clock = engine()
+    stamp = eng.stamp()
+    assert stamp.origin == "alpha"
+    assert stamp.verify("s3cret")
+    # Our own stamp reflected back is a duplicate.
+    assert not eng.should_accept(stamp)
+    assert eng.duplicates_dropped == 1
+
+
+def test_fresh_stamp_accepted_once():
+    eng, _clock = engine()
+    foreign = BroadcastId.make("beta", 5.0, 1, "s3cret")
+    assert eng.should_accept(foreign)
+    assert not eng.should_accept(foreign)
+    assert eng.duplicates_dropped == 1
+
+
+def test_bad_signature_rejected():
+    eng, _clock = engine()
+    forged = BroadcastId.make("beta", 5.0, 1, "wrong-secret")
+    assert not eng.should_accept(forged)
+    assert eng.rejected_signatures == 1
+
+
+def test_none_stamp_rejected():
+    eng, _clock = engine()
+    assert not eng.should_accept(None)
+
+
+def test_window_expiry_allows_retransmission():
+    # The ablation's failure mode: a too-short window forgets old
+    # requests and accepts them again.
+    eng, clock = engine(window_ms=100.0)
+    foreign = BroadcastId.make("beta", 0.0, 1, "s3cret")
+    assert eng.should_accept(foreign)
+    clock.now = 50.0
+    assert not eng.should_accept(foreign)
+    clock.now = 200.0  # past the retention window
+    assert eng.should_accept(foreign)
+
+
+def test_long_window_keeps_suppressing():
+    eng, clock = engine(window_ms=1_000_000.0)
+    foreign = BroadcastId.make("beta", 0.0, 1, "s3cret")
+    assert eng.should_accept(foreign)
+    clock.now = 500_000.0
+    assert not eng.should_accept(foreign)
+
+
+def test_hop_limit():
+    eng, _clock = engine()
+    foreign = BroadcastId.make("beta", 0.0, 1, "s3cret")
+    assert not eng.should_accept(foreign, hops=MAX_BROADCAST_HOPS + 1)
+    assert eng.hop_limited == 1
+
+
+def test_distinct_stamps_from_same_origin_all_accepted():
+    eng, _clock = engine()
+    for seq in range(10):
+        stamp = BroadcastId.make("beta", 1.0, seq, "s3cret")
+        assert eng.should_accept(stamp)
+    assert eng.seen_count() >= 10
+
+
+def test_seen_count_shrinks_after_purge():
+    eng, clock = engine(window_ms=10.0)
+    for seq in range(5):
+        eng.should_accept(BroadcastId.make("beta", 1.0, seq, "s3cret"))
+    assert eng.seen_count() == 5
+    clock.now = 100.0
+    assert eng.seen_count() == 0

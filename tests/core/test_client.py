@@ -1,0 +1,179 @@
+"""Integration tests: tools driving LPMs through the full protocol."""
+
+import pytest
+
+from repro import (
+    ControlAction,
+    GlobalPid,
+    PPMClient,
+    PPMError,
+    spinner_spec,
+    worker_spec,
+)
+from repro.core.messages import MsgKind
+
+from .conftest import lpm_of
+
+
+def test_connect_creates_lpm(world):
+    client = PPMClient(world, "lfc", "alpha").connect()
+    assert client.connected
+    assert ("alpha", "lfc") in world.lpms
+    info = client.session_info()
+    assert info["host"] == "alpha"
+    assert info["user"] == "lfc"
+
+
+def test_second_client_reuses_lpm(world):
+    PPMClient(world, "lfc", "alpha").connect()
+    lpm_first = lpm_of(world, "alpha")
+    PPMClient(world, "lfc", "alpha").connect()
+    assert lpm_of(world, "alpha") is lpm_first
+    assert world.host("alpha").pmd_daemon.creations == 1
+
+
+def test_ping(ppm):
+    result = ppm.client.ping()
+    assert result["host"] == "alpha"
+
+
+def test_create_local_process(ppm, world):
+    gpid = ppm.create_process("job", program=spinner_spec(None))
+    assert gpid.host == "alpha"
+    proc = world.host("alpha").kernel.procs.get(gpid.pid)
+    assert proc.command == "job"
+    assert proc.uid == 1001
+    # Created by the LPM as creation server: child of the LPM process.
+    assert proc.ppid == lpm_of(world, "alpha").proc.pid
+    assert proc.traced
+
+
+def test_create_remote_process(ppm, world):
+    gpid = ppm.create_process("rjob", host="beta",
+                              program=spinner_spec(None))
+    assert gpid.host == "beta"
+    assert ("beta", "lfc") in world.lpms
+    proc = world.host("beta").kernel.procs.get(gpid.pid)
+    assert proc.command == "rjob"
+    # The sibling channel stays up afterwards.
+    assert "beta" in lpm_of(world, "alpha").authenticated_siblings()
+    assert "alpha" in lpm_of(world, "beta").authenticated_siblings()
+
+
+def test_create_on_unreachable_host_fails(ppm, world):
+    world.host("beta").crash()
+    with pytest.raises(PPMError):
+        ppm.create_process("rjob", host="beta")
+
+
+def test_remote_control_stop_continue_kill(ppm, world):
+    gpid = ppm.create_process("rjob", host="beta",
+                              program=spinner_spec(None))
+    proc = world.host("beta").kernel.procs.get(gpid.pid)
+    ppm.client.stop(gpid)
+    assert proc.state.value == "stopped"
+    ppm.client.cont(gpid)
+    assert proc.state.value == "running"
+    ppm.client.kill(gpid)
+    assert not proc.alive
+
+
+def test_foreground_background(ppm, world):
+    gpid = ppm.create_process("job", program=spinner_spec(None))
+    proc = world.host("alpha").kernel.procs.get(gpid.pid)
+    ppm.client.background(gpid)
+    assert not proc.foreground
+    ppm.client.foreground(gpid)
+    assert proc.foreground
+
+
+def test_terminate_delivers_sigterm(ppm, world):
+    gpid = ppm.create_process("job", program=spinner_spec(None))
+    ppm.client.terminate(gpid)
+    proc_record = lpm_of(world, "alpha").records[gpid.pid]
+    world.run_for(100.0)
+    assert proc_record.state == "exited"
+
+
+def test_control_missing_process_reports_error(ppm):
+    with pytest.raises(PPMError):
+        ppm.client.stop(GlobalPid("alpha", 4242))
+
+
+def test_control_on_remote_missing_process(ppm, world):
+    ppm.create_process("rjob", host="beta", program=spinner_spec(None))
+    with pytest.raises(PPMError):
+        ppm.client.stop(GlobalPid("beta", 4242))
+
+
+def test_adopt_existing_tree(ppm, world):
+    # A computation started outside the PPM ("if the user did not invoke
+    # the process management services at login time", section 4).
+    host = world.host("alpha")
+    shell = host.spawn_user_process("lfc", "shell")
+    child = host.kernel.spawn(1001, "make", ppid=shell.pid)
+    grandchild = host.kernel.spawn(1001, "cc1", ppid=child.pid)
+    adopted = ppm.adopt(shell.pid)
+    assert set(adopted) == {shell.pid, child.pid, grandchild.pid}
+    assert shell.traced and child.traced and grandchild.traced
+    forest = ppm.snapshot()
+    assert GlobalPid("alpha", grandchild.pid) in forest
+
+
+def test_adopt_foreign_process_fails(ppm, world):
+    other = world.host("alpha").spawn_user_process("ramon", "theirs")
+    with pytest.raises(PPMError):
+        ppm.adopt(other.pid)
+
+
+def test_set_trace_flags_per_pid_and_session(ppm, world):
+    gpid = ppm.create_process("job", program=spinner_spec(None))
+    ppm.client.set_trace_flags(["exit"], pid=gpid.pid)
+    proc = world.host("alpha").kernel.procs.get(gpid.pid)
+    from repro.unixsim.process import TraceFlag
+    assert proc.trace_flags == TraceFlag.EXIT
+    ppm.client.set_trace_flags(["all"])
+    gpid2 = ppm.create_process("job2", program=spinner_spec(None))
+    proc2 = world.host("alpha").kernel.procs.get(gpid2.pid)
+    assert proc2.trace_flags == TraceFlag.ALL
+
+
+def test_set_trace_flags_unknown_flag(ppm):
+    with pytest.raises(PPMError):
+        ppm.client.set_trace_flags(["bogus"])
+
+
+def test_unknown_tool_request_rejected(ppm):
+    result = ppm.client.call(MsgKind.HELLO, {})
+    assert not result.get("ok")
+
+
+def test_tool_connection_other_user_rejected(world):
+    PPMClient(world, "lfc", "alpha").connect()
+    # ramon's client tries to talk to lfc's accept socket.
+    lpm = lpm_of(world, "alpha")
+    from repro.netsim.stream import StreamConnection
+    outcomes = []
+    StreamConnection.connect(
+        world.network, "alpha", "alpha", lpm.accept_service,
+        payload={"role": "tool", "user": "ramon", "host": "alpha"},
+        on_established=lambda ep: outcomes.append(ep))
+    world.run_for(5_000.0)
+    # Connection is torn down immediately by the LPM.
+    assert not outcomes or not outcomes[0].open
+
+
+def test_session_info_reports_handler_stats(ppm):
+    ppm.create_process("rjob", host="beta", program=spinner_spec(None))
+    info = ppm.session_info()
+    assert info["handler_stats"]["spawned"] >= 1
+    assert "beta" in info["siblings"]
+
+
+def test_worker_exit_reflected_in_records(ppm, world):
+    gpid = ppm.create_process("short", program=worker_spec(500.0,
+                                                           exit_status=2))
+    world.run_for(2_000.0)
+    record = lpm_of(world, "alpha").records[gpid.pid]
+    assert record.state == "exited"
+    assert record.exit_status == 2

@@ -1,0 +1,203 @@
+"""Tests for the datagram sibling transport (section 3's alternative)."""
+
+import pytest
+
+from repro import (
+    ControlAction,
+    PPMClient,
+    PPMConfig,
+    PersonalProcessManager,
+    spinner_spec,
+    worker_spec,
+)
+from repro.tracing import TraceEventType
+
+from .conftest import build_world, lpm_of
+
+DGRAM = PPMConfig(transport="datagram",
+                  datagram_rto_ms=300.0,
+                  recovery_retry_interval_ms=5_000.0,
+                  time_to_die_ms=120_000.0)
+
+
+@pytest.fixture
+def dworld():
+    return build_world(config=DGRAM, recovery=["alpha", "beta"])
+
+
+@pytest.fixture
+def dclient(dworld):
+    return PPMClient(dworld, "lfc", "alpha").connect()
+
+
+def test_remote_create_and_control_over_datagrams(dworld, dclient):
+    gpid = dclient.create_process("rjob", host="beta",
+                                  program=spinner_spec(None))
+    proc = dworld.host("beta").kernel.procs.get(gpid.pid)
+    assert proc.command == "rjob"
+    dclient.stop(gpid)
+    assert proc.state.value == "stopped"
+    dclient.cont(gpid)
+    assert proc.state.value == "running"
+
+
+def test_no_circuits_held_open(dworld, dclient):
+    dclient.create_process("rjob", host="beta",
+                           program=spinner_spec(None))
+    # The only connections ever opened are the transient inetd/tool
+    # bootstraps; no sibling circuits exist.
+    assert dworld.network.open_connection_count() <= 1  # the tool stream
+    assert dworld.network.stats.datagrams_sent > 0
+
+
+def test_both_sides_authenticated_siblings(dworld, dclient):
+    dclient.create_process("rjob", host="beta",
+                           program=spinner_spec(None))
+    assert "beta" in lpm_of(dworld, "alpha").authenticated_siblings()
+    assert "alpha" in lpm_of(dworld, "beta").authenticated_siblings()
+    # Session secrets merged exactly as with streams.
+    assert lpm_of(dworld, "alpha").secret == lpm_of(dworld, "beta").secret
+
+
+def test_snapshot_gather_over_datagrams(dworld, dclient):
+    root = dclient.create_process("root", program=spinner_spec(None))
+    dclient.create_process("c1", host="beta", parent=root,
+                           program=spinner_spec(None))
+    dclient.create_process("c2", host="gamma", parent=root,
+                           program=spinner_spec(None))
+    forest = dclient.snapshot()
+    assert len(forest) == 3
+    assert forest.roots() == [root]
+
+
+def test_acks_double_message_count(dworld, dclient):
+    before = dworld.network.stats.datagrams_sent
+    gpid = dclient.create_process("rjob", host="beta",
+                                  program=spinner_spec(None))
+    dclient.stop(gpid)
+    sent = dworld.network.stats.datagrams_sent - before
+    # Every data datagram is acknowledged: roughly half the traffic is
+    # acks — the recurring cost circuits avoid.
+    assert sent >= 8
+
+
+def test_forged_datagram_rejected(dworld, dclient):
+    dclient.create_process("rjob", host="beta",
+                           program=spinner_spec(None))
+    lpm_beta = lpm_of(dworld, "beta")
+    rejected_before = lpm_beta.dgram.rejected
+    dworld.datagrams.send(
+        "gamma", "beta", "lpmdg:lfc",
+        {"kind": "data", "seq": 999, "from_host": "gamma",
+         "sig": "forged", "payload": None})
+    dworld.run_for(1_000.0)
+    assert lpm_beta.dgram.rejected == rejected_before + 1
+
+
+def test_intro_with_bad_token_dropped(dworld, dclient):
+    dclient.create_process("rjob", host="beta",
+                           program=spinner_spec(None))
+    lpm_beta = lpm_of(dworld, "beta")
+    dworld.datagrams.send(
+        "gamma", "beta", "lpmdg:lfc",
+        {"kind": "intro", "seq": 1, "from_host": "gamma",
+         "user": "lfc", "token": "wrong", "secret": "x",
+         "ccs_host": "gamma"})
+    dworld.run_for(1_000.0)
+    assert "gamma" not in lpm_beta.authenticated_siblings()
+
+
+def test_retransmission_recovers_from_transient_partition(dworld,
+                                                          dclient):
+    gpid = dclient.create_process("rjob", host="beta",
+                                  program=spinner_spec(None))
+    # Cut the network briefly: the datagram is dropped, but a
+    # retransmission lands after the heal.
+    dworld.network.set_partition([{"alpha"}, {"beta", "gamma", "delta"}])
+
+    import threading
+    # Heal shortly after the first (dropped) transmission.
+    dworld.sim.schedule(350.0, dworld.network.heal_partition)
+    result = dclient.stop(gpid)
+    assert result["ok"]
+    proc = dworld.host("beta").kernel.procs.get(gpid.pid)
+    assert proc.state.value == "stopped"
+
+
+def test_host_crash_detected_by_retry_exhaustion(dworld, dclient):
+    gpid = dclient.create_process("rjob", host="beta",
+                                  program=spinner_spec(None))
+    dworld.host("beta").crash()
+    from repro import PPMError
+    with pytest.raises(PPMError):
+        dclient.stop(gpid)
+    # Retry exhaustion reported the loss; recovery machinery engaged.
+    assert dworld.recorder.select(TraceEventType.FAILURE_DETECTED,
+                                  host="alpha")
+    assert "beta" not in lpm_of(dworld, "alpha").authenticated_siblings()
+
+
+def test_keepalive_detects_silent_death(dworld, dclient):
+    # No circuit breaks when a datagram peer dies silently; the signed
+    # keepalive pings (and their retry exhaustion) are the detector.
+    dclient.create_process("rjob", host="beta",
+                           program=spinner_spec(None))
+    lpm_alpha = lpm_of(dworld, "alpha")
+    assert "beta" in lpm_alpha.authenticated_siblings()
+    dworld.host("beta").crash()
+    # Nothing is sent by the application; detection must come from the
+    # keepalive (15 s interval + retry budget).
+    dworld.run_for(60_000.0)
+    assert "beta" not in lpm_alpha.authenticated_siblings()
+    assert lpm_alpha.dgram.pings_sent >= 1
+    assert dworld.recorder.select(TraceEventType.FAILURE_DETECTED,
+                                  host="alpha")
+
+
+def test_ccs_recovery_over_datagrams(dworld):
+    # Section 5's machinery must work identically on the alternative
+    # transport: crash the CCS, watch a stand-in emerge and relinquish.
+    from repro.core.recovery import RecoveryState
+    client = PPMClient(dworld, "lfc", "alpha").connect()
+    client.create_process("j1", host="beta", program=spinner_spec(None))
+    client.create_process("j2", host="gamma", program=spinner_spec(None))
+    dworld.host("alpha").crash()
+    dworld.run_for(120_000.0)
+    lpm_beta = lpm_of(dworld, "beta")
+    assert lpm_beta.ccs_host == "beta"
+    assert lpm_beta.recovery.state is RecoveryState.ACTING_CCS
+    assert lpm_of(dworld, "gamma").ccs_host == "beta"
+    dworld.host("alpha").reboot()
+    dworld.run_for(180_000.0)
+    assert lpm_beta.ccs_host == "alpha"
+
+
+def test_arq_survives_lossy_network(dworld, dclient):
+    # 30% injected loss: retransmission still gets every operation
+    # through, exactly once (duplicate suppression by sequence number).
+    gpid = dclient.create_process("rjob", host="beta",
+                                  program=spinner_spec(None))
+    dworld.datagrams.loss_rate = 0.3
+    proc = dworld.host("beta").kernel.procs.get(gpid.pid)
+    for _ in range(5):
+        dclient.stop(gpid)
+        assert proc.state.value == "stopped"
+        dclient.cont(gpid)
+        assert proc.state.value == "running"
+    assert dworld.datagrams.losses_injected > 0
+    # Exactly-once: five stop/cont pairs = exactly 10 signal pairs
+    # (SIGSTOP+SIGCONT each count 1) plus nothing duplicated.
+    assert proc.rusage.signals_received == 10
+
+
+def test_full_session_lifecycle_on_datagrams(dworld):
+    ppm = PersonalProcessManager(dworld, "lfc", "alpha")
+    ppm.start()
+    root = ppm.create_process("root", program=spinner_spec(None))
+    ppm.create_process("worker", host="beta", parent=root,
+                       program=worker_spec(2_000.0))
+    dworld.run_for(5_000.0)
+    report = ppm.rstats_report()
+    assert any(usage.command == "worker" for usage in report)
+    assert ppm.execution_sites(root) == ["alpha"]  # worker exited
+    ppm.kill_computation(root)

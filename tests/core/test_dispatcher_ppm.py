@@ -1,0 +1,121 @@
+"""Tests for the handler pool and the PersonalProcessManager facade."""
+
+import pytest
+
+from repro import (
+    ControlAction,
+    PersonalProcessManager,
+    PPMConfig,
+    fork_tree_spec,
+    spinner_spec,
+)
+
+from .conftest import build_world, lpm_of
+
+
+class TestHandlerPool:
+    def test_handlers_are_real_processes(self, ppm, world):
+        ppm.create_process("rjob", host="beta", program=spinner_spec(None))
+        lpm = lpm_of(world, "alpha")
+        assert lpm.pool.spawned >= 1
+        handler_procs = [p for p in world.host("alpha").kernel.procs
+                         if p.command == "lpm-handler"]
+        assert handler_procs
+        assert all(p.ppid == lpm.proc.pid for p in handler_procs)
+
+    def test_handlers_reused_not_respawned(self, ppm, world):
+        # "processes that have handled a request may be given further
+        # requests, rather than simply creating new processes"
+        gpid = ppm.create_process("rjob", host="beta",
+                                  program=spinner_spec(None))
+        lpm = lpm_of(world, "alpha")
+        spawned_after_first = lpm.pool.spawned
+        for _ in range(5):
+            ppm.control(gpid, ControlAction.STOP)
+            ppm.control(gpid, ControlAction.CONTINUE)
+        assert lpm.pool.spawned == spawned_after_first
+        assert lpm.pool.reused >= 10
+
+    def test_pool_bounded_by_config(self, world):
+        config = PPMConfig(handler_pool_max=2)
+        small_world = build_world(config=config)
+        manager = PersonalProcessManager(small_world, "lfc", "alpha")
+        manager.start()
+        for host in ("beta", "gamma", "delta"):
+            manager.create_process("j", host=host,
+                                   program=spinner_spec(None))
+        lpm = lpm_of(small_world, "alpha")
+        assert lpm.pool.size() <= 3  # max + at most one in flight
+
+    def test_shutdown_kills_handlers(self, ppm, world):
+        ppm.create_process("rjob", host="beta", program=spinner_spec(None))
+        lpm = lpm_of(world, "alpha")
+        lpm.shutdown("test")
+        handler_procs = [p for p in world.host("alpha").kernel.procs
+                         if p.command == "lpm-handler" and p.alive]
+        assert not handler_procs
+
+
+class TestFacade:
+    def test_execution_sites(self, ppm):
+        root = ppm.create_process("root", program=spinner_spec(None))
+        ppm.create_process("c1", host="beta", parent=root,
+                           program=spinner_spec(None))
+        ppm.create_process("c2", host="gamma", parent=root,
+                           program=spinner_spec(None))
+        assert ppm.execution_sites(root) == ["alpha", "beta", "gamma"]
+
+    def test_execution_sites_unknown_root(self, ppm):
+        from repro import GlobalPid
+        assert ppm.execution_sites(GlobalPid("alpha", 999)) == []
+
+    def test_stop_and_continue_computation(self, ppm, world):
+        root = ppm.create_process("root", program=spinner_spec(None))
+        child = ppm.create_process("child", host="beta", parent=root,
+                                   program=spinner_spec(None))
+        results = ppm.stop_computation(root)
+        assert len(results) == 2
+        for gpid in (root, child):
+            proc = world.host(gpid.host).kernel.procs.get(gpid.pid)
+            assert proc.state.value == "stopped"
+        ppm.continue_computation(root)
+        for gpid in (root, child):
+            proc = world.host(gpid.host).kernel.procs.get(gpid.pid)
+            assert proc.state.value == "running"
+
+    def test_kill_computation_children_first(self, ppm, world):
+        spec = fork_tree_spec([("kid", 10.0, spinner_spec(None))])
+        root = ppm.create_process("root", program=spec)
+        world.run_for(500.0)
+        results = ppm.kill_computation(root)
+        assert len(results) == 2
+        world.run_for(500.0)
+        forest = ppm.snapshot(prune=True)
+        assert len(forest) == 0
+
+    def test_signal_computation_skips_already_exited(self, ppm, world):
+        from repro import worker_spec
+        spec = fork_tree_spec([("kid", 10.0, spinner_spec(None))],
+                              duration_ms=100.0)
+        root = ppm.create_process("root", program=spec)
+        world.run_for(1_000.0)  # root exits, kid lives
+        results = ppm.stop_computation(root)
+        assert len(results) == 1  # only the kid
+
+    def test_facade_installs_lpm_support(self):
+        world = build_world()
+        world.lpm_factory = None
+        manager = PersonalProcessManager(world, "lfc", "alpha")
+        assert world.lpm_factory is not None
+        manager.start()
+        assert manager.session_info()["ok"]
+
+    def test_logout_and_relogin_other_host(self, ppm, world):
+        gpid = ppm.create_process("j", host="beta",
+                                  program=spinner_spec(None))
+        ppm.logout()
+        assert not ppm.client.connected
+        client = ppm.relogin("beta")
+        assert client.host_name == "beta"
+        forest = client.snapshot()
+        assert gpid in forest

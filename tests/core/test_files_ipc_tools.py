@@ -1,0 +1,118 @@
+"""Integration tests for the section 7 tools: open/closed files, file
+descriptors, and IPC activity analysis."""
+
+import pytest
+
+from repro import file_worker_spec, spinner_spec
+from repro.core.files_tool import (
+    file_usage_summary,
+    open_files_by_process,
+    render_closed_files,
+    render_fd_table,
+    render_open_files,
+)
+from repro.ids import GlobalPid
+from repro.tracing.ipc import (
+    hottest_links,
+    ipc_by_kind,
+    ipc_matrix,
+    render_ipc_by_kind,
+    render_ipc_matrix,
+)
+
+
+class TestFilesTools:
+    def test_open_files_visible_across_hosts(self, ppm, world):
+        local = ppm.create_process(
+            "reader", program=file_worker_spec(
+                60_000.0, files=["/data/local"]))
+        remote = ppm.create_process(
+            "writer", host="beta", program=file_worker_spec(
+                60_000.0, files=["/data/remote", "/tmp/scratch"]))
+        forest = ppm.snapshot(prune=False)
+        by_process = open_files_by_process(forest)
+        assert {e["path"] for e in by_process[local]} == {"/data/local"}
+        assert {e["path"] for e in by_process[remote]} == {
+            "/data/remote", "/tmp/scratch"}
+
+    def test_closed_files_history_in_snapshot(self, ppm, world):
+        gpid = ppm.create_process(
+            "churner", program=file_worker_spec(
+                60_000.0, files=["/a", "/b"],
+                close_after_ms=[("/a", 500.0)]))
+        world.run_for(2_000.0)
+        forest = ppm.snapshot(prune=False)
+        record = forest.records[gpid]
+        assert [e["path"] for e in record.closed_files] == ["/a"]
+        assert [e["path"] for e in record.open_files] == ["/b"]
+
+    def test_render_open_and_closed_files(self, ppm, world):
+        ppm.create_process("reader", host="beta",
+                           program=file_worker_spec(
+                               60_000.0, files=["/etc/data"],
+                               close_after_ms=[("/etc/data", 100.0)]))
+        world.run_for(1_000.0)
+        forest = ppm.snapshot(prune=False)
+        closed_text = render_closed_files(forest)
+        assert "/etc/data" in closed_text
+        open_text = render_open_files(forest)
+        assert "no open files" in open_text  # everything closed
+
+    def test_render_fd_table(self, ppm, world):
+        gpid = ppm.create_process(
+            "holder", program=file_worker_spec(60_000.0,
+                                               files=["/x", "/y"]))
+        forest = ppm.snapshot(prune=False)
+        text = render_fd_table(forest, gpid)
+        assert "/x" in text and "/y" in text
+        missing = render_fd_table(forest, GlobalPid("alpha", 9999))
+        assert "no such process" in missing
+
+    def test_file_usage_summary_counts_holders(self, ppm, world):
+        a = ppm.create_process("r1", program=file_worker_spec(
+            60_000.0, files=["/shared"]))
+        b = ppm.create_process("r2", host="beta",
+                               program=file_worker_spec(
+                                   60_000.0, files=["/shared"]))
+        forest = ppm.snapshot(prune=False)
+        summary = file_usage_summary(forest)
+        assert summary["/shared"]["open_count"] == 2
+        assert summary["/shared"]["holders"] == sorted([a, b])
+
+
+class TestIpcAnalysis:
+    def make_traffic(self, ppm, world):
+        ppm.create_process("j1", host="beta", program=spinner_spec(None))
+        ppm.create_process("j2", host="gamma", program=spinner_spec(None))
+        ppm.snapshot()
+        return world.recorder.events
+
+    def test_matrix_counts_directed_traffic(self, ppm, world):
+        events = self.make_traffic(ppm, world)
+        matrix = ipc_matrix(events)
+        assert matrix[("alpha", "beta")]["messages"] >= 2  # create+gather
+        assert matrix[("beta", "alpha")]["messages"] >= 2  # acks+reply
+        assert all(cell["bytes"] > 0 for cell in matrix.values())
+
+    def test_by_kind_includes_protocol_kinds(self, ppm, world):
+        events = self.make_traffic(ppm, world)
+        kinds = ipc_by_kind(events)
+        assert "create" in kinds
+        assert "gather" in kinds
+        assert "gather_reply" in kinds
+
+    def test_hottest_links_sorted(self, ppm, world):
+        events = self.make_traffic(ppm, world)
+        links = hottest_links(events)
+        loads = [count for _pair, count in links]
+        assert loads == sorted(loads, reverse=True)
+        assert ("alpha", "beta") in dict(links)
+
+    def test_renderings(self, ppm, world):
+        events = self.make_traffic(ppm, world)
+        assert "alpha" in render_ipc_matrix(events)
+        assert "gather" in render_ipc_by_kind(events)
+
+    def test_empty_trace_renders_hint(self):
+        assert "granularity FINE" in render_ipc_matrix([])
+        assert "granularity FINE" in render_ipc_by_kind([])

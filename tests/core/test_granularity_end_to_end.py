@@ -1,0 +1,88 @@
+"""End-to-end tests for event-recording granularity: the per-session
+recorder level and the per-process kernel trace flags compose."""
+
+import pytest
+
+from repro import Granularity, PPMClient, spinner_spec, worker_spec
+from repro.tracing import TraceEventType
+from repro.unixsim.process import TraceFlag
+
+from .conftest import build_world, lpm_of
+
+
+def test_recorder_granularity_filters_session_wide():
+    world = build_world()
+    world.recorder.set_granularity(Granularity.COARSE)
+    client = PPMClient(world, "lfc", "alpha").connect()
+    gpid = client.create_process("job", host="beta",
+                                 program=worker_spec(1_000.0))
+    client.stop(gpid)
+    client.cont(gpid)
+    world.run_for(5_000.0)
+    # Lifecycle recorded...
+    assert world.recorder.count(TraceEventType.LPM_CREATED) >= 2
+    assert world.recorder.count(TraceEventType.PROCESS_CREATED) == 1
+    assert world.recorder.count(TraceEventType.EXIT) >= 1
+    # ...communication noise not.
+    assert world.recorder.count(TraceEventType.KERNEL_MESSAGE) == 0
+    assert world.recorder.count(TraceEventType.SIBLING_MESSAGE) == 0
+    assert world.recorder.count(TraceEventType.STOPPED) == 0
+
+
+def test_medium_granularity_admits_control_but_not_traffic():
+    world = build_world()
+    world.recorder.set_granularity(Granularity.MEDIUM)
+    client = PPMClient(world, "lfc", "alpha").connect()
+    gpid = client.create_process("job", program=spinner_spec(None))
+    client.stop(gpid)
+    world.run_for(1_000.0)
+    assert world.recorder.count(TraceEventType.STOPPED) >= 1
+    assert world.recorder.count(TraceEventType.SIBLING_MESSAGE) == 0
+
+
+def test_per_process_flags_limit_kernel_messages():
+    # "The granularity of event tracing is user-settable" (section 8):
+    # narrowing a process's flags cuts the kernel-socket traffic.
+    world = build_world()
+    client = PPMClient(world, "lfc", "alpha").connect()
+    kernel = world.host("alpha").kernel
+    noisy = client.create_process("noisy", program=spinner_spec(None))
+    quiet = client.create_process("quiet", program=spinner_spec(None))
+    client.set_trace_flags(["exit"], pid=quiet.pid)
+    posted_before = kernel.messages_posted
+    for gpid in (noisy, quiet):
+        client.stop(gpid)
+        client.cont(gpid)
+    world.run_for(1_000.0)
+    posted = kernel.messages_posted - posted_before
+    suppressed = kernel.messages_suppressed
+    # noisy posts SIGNAL+STOPPED and SIGNAL+CONTINUED (4); quiet posts
+    # nothing for the same actions.
+    assert posted == 4
+    assert suppressed >= 4
+    proc = kernel.procs.get(quiet.pid)
+    assert proc.trace_flags == TraceFlag.EXIT
+
+
+def test_session_default_flags_apply_to_new_processes():
+    world = build_world()
+    client = PPMClient(world, "lfc", "alpha").connect()
+    client.set_trace_flags(["exit", "resource"])
+    gpid = client.create_process("job", program=worker_spec(500.0))
+    proc_flags = world.host("alpha").kernel.procs.get(gpid.pid).trace_flags
+    assert proc_flags == TraceFlag.EXIT | TraceFlag.RESOURCE
+    world.run_for(2_000.0)
+    # Only the EXIT event reached the LPM's records/history.
+    record = lpm_of(world, "alpha").records[gpid.pid]
+    assert record.state == "exited"
+    assert record.rusage  # the RESOURCE flag delivered usage at exit
+
+
+def test_wire_decode_rejects_garbage():
+    import json
+    import pytest as _pytest
+    from repro.core.wire import decode
+    with _pytest.raises(Exception):
+        decode(b"not json at all {{{")
+    with _pytest.raises(Exception):
+        decode(json.dumps({"kind": "no-such-kind"}).encode())

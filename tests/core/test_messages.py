@@ -1,0 +1,40 @@
+"""Tests for the message envelope semantics."""
+
+from repro.core.messages import TOOL_KINDS, Message, MsgKind
+
+
+def test_make_reply_reverses_route_and_targets_origin():
+    request = Message(kind=MsgKind.GATHER, req_id=7, origin="a",
+                      user="u", route=["a", "b", "c"], final_dest="c")
+    reply = request.make_reply(MsgKind.GATHER_REPLY, "c",
+                               {"ok": True})
+    assert reply.route == ["c", "b", "a"]
+    assert reply.final_dest == "a"
+    assert reply.reply_to == 7
+    assert reply.req_id == 7
+    assert reply.origin == "c"
+    assert reply.is_reply
+    assert not request.is_reply
+
+
+def test_make_reply_defaults_empty_payload():
+    request = Message(kind=MsgKind.CONTROL, req_id=1, origin="a",
+                      user="u")
+    reply = request.make_reply(MsgKind.CONTROL_ACK, "b")
+    assert reply.payload == {}
+
+
+def test_tool_kinds_cover_every_tool_verb():
+    tool_values = {kind for kind in MsgKind
+                   if kind.value.startswith("tool_")}
+    assert tool_values == set(TOOL_KINDS)
+
+
+def test_str_rendering():
+    message = Message(kind=MsgKind.CONTROL, req_id=3, origin="a",
+                      user="u", final_dest="b")
+    assert "control#3" in str(message)
+    assert "a->b" in str(message)
+    broadcastish = Message(kind=MsgKind.LOCATE, req_id=4, origin="a",
+                           user="u")
+    assert "a->*" in str(broadcastish)

@@ -1,0 +1,130 @@
+"""Multi-user isolation: "process management is a problem of
+administering the processes of a particular user without regard to
+machine rather than the processes of a particular machine, without
+regard to user" (section 2)."""
+
+import pytest
+
+from repro import (
+    ControlAction,
+    PersonalProcessManager,
+    PPMClient,
+    PPMError,
+    TraceEventType,
+    spinner_spec,
+    worker_spec,
+)
+
+from .conftest import build_world, lpm_of
+
+
+@pytest.fixture
+def two_users(world):
+    lfc = PersonalProcessManager(world, "lfc", "alpha",
+                                 recovery_hosts=["alpha"])
+    lfc.start()
+    world.write_recovery_file("ramon", ["beta"])
+    ramon = PersonalProcessManager(world, "ramon", "beta")
+    ramon.start()
+    return world, lfc, ramon
+
+
+def test_one_lpm_per_user_per_host(two_users):
+    world, lfc, ramon = two_users
+    lfc.create_process("mine", host="beta", program=spinner_spec(None))
+    ramon.create_process("theirs", host="beta", program=spinner_spec(None))
+    assert ("beta", "lfc") in world.lpms
+    assert ("beta", "ramon") in world.lpms
+    assert world.lpms[("beta", "lfc")] is not world.lpms[("beta", "ramon")]
+    # Two LPM processes exist on beta, one per user.
+    lpm_procs = [p for p in world.host("beta").kernel.procs
+                 if p.command == "lpm" and p.alive]
+    assert {p.uid for p in lpm_procs} == {1001, 1002}
+
+
+def test_snapshots_are_disjoint(two_users):
+    world, lfc, ramon = two_users
+    mine = lfc.create_process("mine", host="gamma",
+                              program=spinner_spec(None))
+    theirs = ramon.create_process("theirs", host="gamma",
+                                  program=spinner_spec(None))
+    lfc_forest = lfc.snapshot()
+    ramon_forest = ramon.snapshot()
+    assert mine in lfc_forest and theirs not in lfc_forest
+    assert theirs in ramon_forest and mine not in ramon_forest
+
+
+def test_control_across_users_denied(two_users):
+    world, lfc, ramon = two_users
+    theirs = ramon.create_process("theirs", host="gamma",
+                                  program=spinner_spec(None))
+    # lfc's PPM cannot stop ramon's process even knowing its identity:
+    # the owning LPM is ramon's; lfc's LPM cannot locate it, and a
+    # direct kernel action would fail the uid check.
+    with pytest.raises(PPMError):
+        lfc.control(theirs, ControlAction.STOP)
+    proc = world.host("gamma").kernel.procs.get(theirs.pid)
+    assert proc.state.value == "running"
+
+
+def test_kernel_messages_routed_to_owning_lpm(two_users):
+    world, lfc, ramon = two_users
+    mine = lfc.create_process("mine", host="gamma",
+                              program=worker_spec(1_000.0))
+    theirs = ramon.create_process("theirs", host="gamma",
+                                  program=worker_spec(1_000.0))
+    world.run_for(5_000.0)
+    lfc_records = lpm_of(world, "gamma", "lfc").records
+    ramon_records = lpm_of(world, "gamma", "ramon").records
+    assert mine.pid in lfc_records and mine.pid not in ramon_records
+    assert theirs.pid in ramon_records and theirs.pid not in lfc_records
+    assert lfc_records[mine.pid].state == "exited"
+    assert ramon_records[theirs.pid].state == "exited"
+
+
+def test_sessions_have_distinct_secrets_and_ccs(two_users):
+    world, lfc, ramon = two_users
+    lfc.create_process("mine", host="gamma", program=spinner_spec(None))
+    ramon.create_process("theirs", host="gamma",
+                         program=spinner_spec(None))
+    lfc_lpm = lpm_of(world, "gamma", "lfc")
+    ramon_lpm = lpm_of(world, "gamma", "ramon")
+    assert lfc_lpm.secret != ramon_lpm.secret
+    assert lfc_lpm.ccs_host == "alpha"
+    assert ramon_lpm.ccs_host == "beta"
+
+
+def test_rstats_scoped_per_user(two_users):
+    world, lfc, ramon = two_users
+    lfc.create_process("mine-batch", host="gamma",
+                       program=worker_spec(500.0))
+    ramon.create_process("their-batch", host="gamma",
+                         program=worker_spec(500.0))
+    world.run_for(3_000.0)
+    lfc_commands = {usage.command for usage in lfc.rstats_report()}
+    ramon_commands = {usage.command for usage in ramon.rstats_report()}
+    assert lfc_commands == {"mine-batch"}
+    assert ramon_commands == {"their-batch"}
+
+
+def test_scoped_trigger_fires_only_for_own_events(two_users):
+    world, lfc, ramon = two_users
+    fired = []
+    lfc.add_trigger("my-exits", fired.append,
+                    event_type=TraceEventType.EXIT)
+    lfc.create_process("mine", program=worker_spec(500.0))
+    ramon.create_process("theirs", host="beta",
+                         program=worker_spec(500.0))
+    world.run_for(3_000.0)
+    assert len(fired) == 1
+    assert fired[0].user == "lfc"
+
+
+def test_pmd_crash_affects_both_users_equally(two_users):
+    world, lfc, ramon = two_users
+    lfc.create_process("mine", host="gamma", program=spinner_spec(None))
+    ramon.create_process("theirs", host="gamma",
+                         program=spinner_spec(None))
+    gamma = world.host("gamma")
+    assert gamma.pmd_daemon.knows("lfc")
+    assert gamma.pmd_daemon.knows("ramon")

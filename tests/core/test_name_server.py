@@ -1,0 +1,117 @@
+"""Tests for the name-server CCS alternative (section 5's sketch)."""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, spinner_spec
+from repro.core.recovery import RecoveryState
+from repro.tracing import TraceEventType
+
+from .conftest import build_world, lpm_of
+
+NS_CONFIG = PPMConfig(
+    ccs_source="name_server",
+    name_server_host="delta",
+    ccs_probe_interval_ms=5_000.0,
+    recovery_retry_interval_ms=5_000.0,
+    time_to_die_ms=120_000.0,
+    request_timeout_ms=8_000.0,
+)
+
+
+def ns_world():
+    world = build_world(config=NS_CONFIG)
+    server = world.install_name_server("delta")
+    server.administer("lfc", ["alpha", "beta", "gamma"])
+    return world, server
+
+
+def make_session(world):
+    client = PPMClient(world, "lfc", "alpha").connect()
+    for host in ("beta", "gamma"):
+        client.create_process("job-%s" % host, host=host,
+                              program=spinner_spec(None))
+    world.run_for(2_000.0)
+    return client
+
+
+def test_config_requires_server_host():
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError):
+        PPMConfig(ccs_source="name_server")
+    with pytest.raises(ConfigError):
+        PPMConfig(ccs_source="dns")
+
+
+def test_assignment_adopted_at_registration():
+    world, server = ns_world()
+    make_session(world)
+    # No .recovery files anywhere; the name server coordinates.
+    assert lpm_of(world, "alpha").ccs_host == "alpha"
+    assert lpm_of(world, "beta").ccs_host == "alpha"
+    assert lpm_of(world, "gamma").ccs_host == "alpha"
+    assert server.queries + server.reports >= 0
+    assert server.current_ccs("lfc") == "alpha"
+
+
+def test_ccs_crash_reassigns_via_name_server():
+    world, server = ns_world()
+    make_session(world)
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    assert server.current_ccs("lfc") == "beta"
+    assert lpm_of(world, "beta").ccs_host == "beta"
+    assert lpm_of(world, "beta").recovery.state is \
+        RecoveryState.ACTING_CCS
+    assert lpm_of(world, "gamma").ccs_host == "beta"
+    assert server.reports >= 1
+
+
+def test_assignment_climbs_back_when_top_host_returns():
+    world, server = ns_world()
+    make_session(world)
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    assert server.current_ccs("lfc") == "beta"
+    world.host("alpha").reboot()
+    # A fresh login on alpha re-creates its LPM, which registers and
+    # climbs the assignment back; beta's probe re-query notices.
+    PPMClient(world, "lfc", "alpha").connect()
+    world.run_for(60_000.0)
+    assert server.current_ccs("lfc") == "alpha"
+    assert lpm_of(world, "beta").ccs_host == "alpha"
+    assert world.recorder.select(TraceEventType.CCS_RELINQUISHED,
+                                 host="beta")
+
+
+def test_name_server_down_is_single_point_of_failure():
+    world, server = ns_world()
+    make_session(world)
+    # Both the coordinator AND the name server die.
+    world.host("delta").crash()
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    # Nobody can learn a coordinator: survivors arm time-to-die.
+    assert world.recorder.select(TraceEventType.TIME_TO_DIE_ARMED)
+    beta_state = lpm_of(world, "beta").recovery.state
+    assert beta_state in (RecoveryState.ISOLATED,
+                          RecoveryState.SEARCHING)
+
+
+def test_recovery_resumes_when_name_server_returns():
+    world, server = ns_world()
+    make_session(world)
+    world.host("delta").crash()
+    world.host("alpha").crash()
+    world.run_for(30_000.0)
+    world.host("delta").reboot()
+    restored = world.install_name_server("delta")
+    restored.administer("lfc", ["alpha", "beta", "gamma"])
+    world.run_for(60_000.0)
+    lpm_beta = lpm_of(world, "beta")
+    assert lpm_beta.recovery.state in (RecoveryState.NORMAL,
+                                       RecoveryState.ACTING_CCS)
+    assert lpm_beta.ccs_host == "beta"  # next on the admin list
+    # Processes survived the episode.
+    proc = next(p for p in world.host("beta").kernel.procs.by_uid(1001)
+                if p.command == "job-beta")
+    assert proc.alive

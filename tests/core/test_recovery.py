@@ -1,0 +1,192 @@
+"""Tests for crash recovery and the CCS (section 5)."""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, spinner_spec
+from repro.core.recovery import RecoveryState
+from repro.tracing import TraceEventType
+
+from .conftest import build_world, lpm_of
+
+FAST = PPMConfig(
+    ccs_probe_interval_ms=5_000.0,
+    recovery_retry_interval_ms=3_000.0,
+    time_to_die_ms=60_000.0,
+    request_timeout_ms=8_000.0,
+)
+
+
+def make_session(recovery=("alpha", "beta"), hosts=("beta", "gamma"),
+                 config=FAST):
+    """A session rooted on alpha with processes on the given hosts."""
+    world = build_world(config=config, recovery=list(recovery))
+    client = PPMClient(world, "lfc", "alpha").connect()
+    gpids = {}
+    for host in hosts:
+        gpids[host] = client.create_process("job-%s" % host, host=host,
+                                            program=spinner_spec(None))
+    return world, client, gpids
+
+
+def test_ccs_comes_from_recovery_file():
+    world, _client, _g = make_session(recovery=("beta", "alpha"))
+    assert lpm_of(world, "alpha").ccs_host == "beta"
+
+
+def test_default_ccs_is_first_host():
+    world = build_world(recovery=None)
+    PPMClient(world, "lfc", "gamma").connect()
+    assert lpm_of(world, "gamma").ccs_host == "gamma"
+
+
+def test_ccs_passed_to_new_siblings():
+    # "Upon creation of a sibling LPM, the network address of the CCS is
+    # passed along."
+    world, _client, _g = make_session()
+    assert lpm_of(world, "beta").ccs_host == "alpha"
+    assert lpm_of(world, "gamma").ccs_host == "alpha"
+
+
+def test_failure_reported_to_ccs():
+    world, _client, _g = make_session(hosts=("beta",))
+    # Give beta its own channel to gamma so beta (a non-CCS LPM)
+    # detects gamma's crash and must report it to the CCS on alpha.
+    beta_client = PPMClient(world, "lfc", "beta").connect()
+    beta_client.create_process("job-gamma", host="gamma",
+                               program=spinner_spec(None))
+    world.host("gamma").crash()
+    world.run_for(20_000.0)
+    lpm_beta = lpm_of(world, "beta")
+    assert lpm_beta.recovery.state is RecoveryState.NORMAL
+    assert lpm_beta.ccs_host == "alpha"
+    reports = world.recorder.select(TraceEventType.CCS_CONTACTED,
+                                    host="beta")
+    assert reports  # beta reported the loss and reached the CCS
+
+
+def test_ccs_crash_triggers_search_to_next_host():
+    # recovery list: alpha (CCS), beta.  alpha dies; beta and gamma must
+    # find beta as the stand-in CCS.
+    world, _client, _g = make_session(recovery=("alpha", "beta"),
+                                      hosts=("beta", "gamma"))
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    lpm_beta = lpm_of(world, "beta")
+    lpm_gamma = lpm_of(world, "gamma")
+    assert lpm_beta.ccs_host == "beta"  # assumed the role
+    assert lpm_beta.recovery.state is RecoveryState.ACTING_CCS
+    assert lpm_gamma.ccs_host == "beta"
+    assert world.recorder.select(TraceEventType.CCS_ASSUMED, host="beta")
+
+
+def test_stand_in_ccs_probes_and_relinquishes():
+    world, _client, _g = make_session(recovery=("alpha", "beta"),
+                                      hosts=("beta", "gamma"))
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    assert lpm_of(world, "beta").recovery.state is RecoveryState.ACTING_CCS
+    probes_before = len(world.recorder.select(TraceEventType.CCS_PROBE))
+    world.run_for(30_000.0)
+    assert len(world.recorder.select(TraceEventType.CCS_PROBE)) > \
+        probes_before  # low-frequency probing of the higher host
+    # alpha comes back: the stand-in must relinquish to it.
+    world.host("alpha").reboot()
+    world.run_for(120_000.0)
+    lpm_beta = lpm_of(world, "beta")
+    assert lpm_beta.ccs_host == "alpha"
+    assert world.recorder.select(TraceEventType.CCS_RELINQUISHED,
+                                 host="beta")
+    assert lpm_beta.recovery.state is RecoveryState.NORMAL
+
+
+def test_isolated_lpm_arms_time_to_die_and_kills_processes():
+    # gamma can reach no recovery host: its user processes must be
+    # terminated when time-to-die expires.
+    world, _client, gpids = make_session(recovery=("alpha", "beta"),
+                                         hosts=("gamma",))
+    leaf = gpids["gamma"]
+    world.network.set_partition([{"gamma"}])
+    world.run_for(30_000.0)
+    lpm_gamma = lpm_of(world, "gamma")
+    assert lpm_gamma.recovery.state in (RecoveryState.ISOLATED,
+                                        RecoveryState.SEARCHING)
+    assert world.recorder.select(TraceEventType.TIME_TO_DIE_ARMED,
+                                 host="gamma")
+    world.run_for(120_000.0)
+    assert world.recorder.select(TraceEventType.TIME_TO_DIE_FIRED,
+                                 host="gamma")
+    proc = world.host("gamma").kernel.procs.find(leaf.pid)
+    assert proc is None or not proc.alive
+    assert not lpm_gamma.alive
+
+
+def test_isolated_lpm_resumes_when_partition_heals_in_time():
+    world, _client, gpids = make_session(recovery=("alpha", "beta"),
+                                         hosts=("gamma",))
+    leaf = gpids["gamma"]
+    world.network.set_partition([{"gamma"}])
+    world.run_for(30_000.0)
+    lpm_gamma = lpm_of(world, "gamma")
+    assert world.recorder.select(TraceEventType.TIME_TO_DIE_ARMED,
+                                 host="gamma")
+    world.network.heal_partition()
+    world.run_for(30_000.0)  # retries reconnect well within time-to-die
+    assert lpm_gamma.recovery.state is RecoveryState.NORMAL
+    assert lpm_gamma.alive
+    proc = world.host("gamma").kernel.procs.get(leaf.pid)
+    assert proc.alive
+    assert world.recorder.select(TraceEventType.RECOVERY_RESUMED,
+                                 host="gamma")
+
+
+def test_partition_yields_multiple_ccs_then_merges():
+    # recovery list: alpha, beta.  Partition {alpha,...} / {beta, gamma}:
+    # the minority side elects beta as stand-in CCS; healing merges back
+    # to alpha.
+    world, _client, _g = make_session(recovery=("alpha", "beta"),
+                                      hosts=("beta", "gamma"))
+    world.network.set_partition([{"alpha", "delta"}, {"beta", "gamma"}])
+    world.run_for(60_000.0)
+    lpm_beta = lpm_of(world, "beta")
+    lpm_gamma = lpm_of(world, "gamma")
+    assert lpm_beta.ccs_host == "beta"  # second CCS in the partition
+    assert lpm_gamma.ccs_host == "beta"
+    assert lpm_of(world, "alpha").ccs_host == "alpha"
+    # "Connected components of this kind ... continue their operations
+    # with no bounds in time": nobody armed time-to-die on the side with
+    # a recovery host.
+    assert not world.recorder.select(TraceEventType.TIME_TO_DIE_FIRED)
+    world.network.heal_partition()
+    world.run_for(120_000.0)
+    assert lpm_beta.ccs_host == "alpha"
+    assert lpm_beta.recovery.state is RecoveryState.NORMAL
+
+
+def test_lpm_crash_handled_like_host_crash():
+    # "LPM crashes are handled just as host crashes." — kill just the
+    # LPM process on gamma; beta reports to the CCS and the session
+    # continues.
+    world, client, gpids = make_session(hosts=("beta", "gamma"))
+    lpm_gamma = lpm_of(world, "gamma")
+    world.host("gamma").kernel.exit(lpm_gamma.proc.pid)
+    lpm_gamma.alive = False
+    world.run_for(30_000.0)
+    forest = client.snapshot()
+    # gamma's information is lost; the snapshot degrades to a forest
+    # or at least loses gamma's records.
+    assert gpids["gamma"] not in forest
+    assert gpids["beta"] in forest
+
+
+def test_recovery_trace_sequence_is_ordered():
+    world, _client, _g = make_session(recovery=("alpha", "beta"),
+                                      hosts=("beta",))
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    events = [e.event_type for e in world.recorder.select(host="beta")
+              if e.event_type in (TraceEventType.FAILURE_DETECTED,
+                                  TraceEventType.CCS_SEARCH,
+                                  TraceEventType.CCS_ASSUMED)]
+    assert events[:3] == [TraceEventType.FAILURE_DETECTED,
+                          TraceEventType.CCS_SEARCH,
+                          TraceEventType.CCS_ASSUMED]

@@ -1,0 +1,107 @@
+"""Additional crash-recovery edge scenarios."""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, spinner_spec
+from repro.core.recovery import RecoveryState
+from repro.tracing import TraceEventType
+
+from .conftest import build_world, lpm_of
+
+FAST = PPMConfig(ccs_probe_interval_ms=5_000.0,
+                 recovery_retry_interval_ms=4_000.0,
+                 time_to_die_ms=90_000.0,
+                 request_timeout_ms=8_000.0)
+
+
+def session(recovery, hosts):
+    world = build_world(config=FAST, recovery=list(recovery))
+    client = PPMClient(world, "lfc", "alpha").connect()
+    for host in hosts:
+        client.create_process("job-%s" % host, host=host,
+                              program=spinner_spec(None))
+    return world, client
+
+
+def test_empty_recovery_file_defaults_to_self():
+    world = build_world(config=FAST, recovery=[])
+    PPMClient(world, "lfc", "gamma").connect()
+    lpm = lpm_of(world, "gamma")
+    assert lpm.ccs_host == "gamma"
+    # A failure elsewhere cannot dethrone a self-CCS with no list.
+    assert lpm.recovery.recovery_list == []
+
+
+def test_double_failure_ccs_then_stand_in():
+    # recovery list alpha, beta, gamma: alpha dies, beta stands in,
+    # then beta dies too — gamma must find itself at the list's end.
+    world, _client = session(["alpha", "beta", "gamma"],
+                             ["beta", "gamma"])
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    assert lpm_of(world, "beta").ccs_host == "beta"
+    assert lpm_of(world, "gamma").ccs_host == "beta"
+    world.host("beta").crash()
+    world.run_for(90_000.0)
+    lpm_gamma = lpm_of(world, "gamma")
+    assert lpm_gamma.ccs_host == "gamma"
+    assert lpm_gamma.recovery.state is RecoveryState.ACTING_CCS
+    # gamma's processes never died.
+    procs = [p for p in world.host("gamma").kernel.procs.by_uid(1001)
+             if p.command.startswith("job") and p.alive]
+    assert procs
+
+
+def test_both_recovery_hosts_return_in_reverse_order():
+    world, _client = session(["alpha", "beta"], ["beta", "gamma"])
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    assert lpm_of(world, "beta").ccs_host == "beta"
+    # alpha reboots, then beta (the stand-in) crashes before probing.
+    world.host("alpha").reboot()
+    world.host("beta").crash()
+    world.run_for(120_000.0)
+    lpm_gamma = lpm_of(world, "gamma")
+    # gamma found alpha (fresh LPM created on demand by the search).
+    assert lpm_gamma.ccs_host == "alpha"
+    assert lpm_gamma.recovery.state is RecoveryState.NORMAL
+    assert ("alpha", "lfc") in world.lpms
+    assert world.lpms[("alpha", "lfc")].alive
+
+
+def test_ccs_itself_unaffected_by_leaf_failures():
+    world, _client = session(["alpha", "beta"], ["beta", "gamma"])
+    lpm_alpha = lpm_of(world, "alpha")
+    world.host("gamma").crash()
+    world.run_for(30_000.0)
+    # The coordinator notes the loss but keeps serving.
+    assert lpm_alpha.recovery.state in (RecoveryState.NORMAL,
+                                        RecoveryState.ACTING_CCS)
+    assert lpm_alpha.alive
+    assert lpm_alpha.ccs_host == "alpha"
+
+
+def test_partitioned_ccs_side_keeps_working():
+    # The CCS's side of a partition needs no recovery at all.
+    world, client = session(["alpha", "beta"], ["beta", "gamma"])
+    world.network.set_partition([{"alpha", "beta"}, {"gamma", "delta"}])
+    world.run_for(30_000.0)
+    gpid = client.create_process("during-partition", host="beta",
+                                 program=spinner_spec(None))
+    assert gpid.host == "beta"
+    forest = client.snapshot()
+    assert gpid in forest
+    assert "gamma" not in {g.host for g in forest.records}
+    world.network.heal_partition()
+    world.run_for(60_000.0)
+    # After healing, gamma's records return to the snapshot.
+    forest = client.snapshot()
+    assert any(g.host == "gamma" for g in forest.records)
+
+
+def test_recovery_events_carry_user_identity():
+    world, _client = session(["alpha", "beta"], ["beta"])
+    world.host("alpha").crash()
+    world.run_for(60_000.0)
+    for event in world.recorder.select(TraceEventType.CCS_ASSUMED):
+        assert event.user == "lfc"

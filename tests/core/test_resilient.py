@@ -1,0 +1,123 @@
+"""Tests for the resilient-computation layer (section 5's open problem,
+built on top of the basic mechanism)."""
+
+import pytest
+
+from repro import PPMClient, ResilientComputation, UnitSpec, spinner_spec, worker_spec
+
+from .conftest import build_world
+
+
+@pytest.fixture
+def session():
+    world = build_world(recovery=["alpha", "beta"])
+    client = PPMClient(world, "lfc", "alpha").connect()
+    return world, client
+
+
+def specs(max_restarts=8):
+    return [
+        UnitSpec(name="solver", command="solver",
+                 program=spinner_spec(None),
+                 candidate_hosts=["beta", "gamma", "delta"],
+                 max_restarts=max_restarts),
+        UnitSpec(name="logger", command="logger",
+                 program=spinner_spec(None),
+                 candidate_hosts=["gamma", "delta"],
+                 max_restarts=max_restarts),
+    ]
+
+
+def test_start_places_on_preferred_hosts(session):
+    world, client = session
+    comp = ResilientComputation(client, specs()).start()
+    status = comp.status()
+    assert status["solver"]["host"] == "beta"
+    assert status["logger"]["host"] == "gamma"
+    assert comp.all_running()
+
+
+def test_exited_unit_restarted_in_place(session):
+    world, client = session
+    units = [UnitSpec(name="flaky", command="flaky",
+                      program=worker_spec(2_000.0, exit_status=1),
+                      candidate_hosts=["beta"])]
+    comp = ResilientComputation(client, units).start()
+    world.run_for(5_000.0)  # the worker exits
+    acted = comp.check_once()
+    assert acted == ["flaky"]
+    assert comp.units["flaky"].restarts == 1
+    assert comp.status()["flaky"]["host"] == "beta"
+
+
+def test_host_crash_transfers_control_to_next_host(session):
+    # "control would have to be carefully transferred to another host"
+    world, client = session
+    comp = ResilientComputation(client, specs()).start()
+    world.host("beta").crash()
+    world.run_for(10_000.0)  # failure detection
+    comp.check_once()
+    status = comp.status()
+    assert status["solver"]["host"] == "gamma"  # next candidate
+    assert status["solver"]["restarts"] == 1
+    assert status["logger"]["host"] == "gamma"  # untouched
+    assert comp.all_running()
+
+
+def test_cascading_failures_walk_the_candidate_list(session):
+    world, client = session
+    comp = ResilientComputation(client, specs()).start()
+    world.host("beta").crash()
+    world.run_for(10_000.0)
+    comp.check_once()
+    world.host("gamma").crash()
+    world.run_for(10_000.0)
+    comp.check_once()
+    assert comp.status()["solver"]["host"] == "delta"
+    assert comp.status()["logger"]["host"] == "delta"
+
+
+def test_gives_up_after_max_restarts(session):
+    world, client = session
+    units = [UnitSpec(name="doomed", command="doomed",
+                      program=worker_spec(500.0, exit_status=1),
+                      candidate_hosts=["beta"], max_restarts=2)]
+    comp = ResilientComputation(client, units).start()
+    for _ in range(4):
+        world.run_for(3_000.0)
+        comp.check_once()
+    state = comp.units["doomed"]
+    assert state.failed_permanently
+    assert state.restarts == 2
+    assert not comp.all_running()
+
+
+def test_run_supervised_heals_automatically(session):
+    world, client = session
+    comp = ResilientComputation(client, specs()).start()
+    world.host("beta").crash()
+    comp.run_supervised(30_000.0, check_interval_ms=5_000.0)
+    assert comp.status()["solver"]["host"] == "gamma"
+    assert comp.all_running()
+    assert comp.checks >= 5
+
+
+def test_unit_history_records_transfers(session):
+    world, client = session
+    comp = ResilientComputation(client, specs()).start()
+    world.host("beta").crash()
+    world.run_for(10_000.0)
+    comp.check_once()
+    history = comp.units["solver"].history
+    assert any("placed on beta" in line for line in history)
+    assert any("host down" in line for line in history)
+    assert any("placed on gamma" in line for line in history)
+
+
+def test_shutdown_kills_units(session):
+    world, client = session
+    comp = ResilientComputation(client, specs()).start()
+    comp.shutdown()
+    world.run_for(1_000.0)
+    forest = client.snapshot(prune=True)
+    assert len(forest) == 0

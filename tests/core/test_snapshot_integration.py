@@ -1,0 +1,159 @@
+"""Integration tests for cross-host snapshots (Figure 1 scenarios)."""
+
+from repro import GlobalPid, fork_tree_spec, spinner_spec, worker_spec
+from repro.tracing import render_forest
+
+from .conftest import lpm_of
+
+
+def test_snapshot_spans_three_hosts(ppm, world):
+    root = ppm.create_process("root", program=spinner_spec(None))
+    child_b = ppm.create_process("child-b", host="beta", parent=root,
+                                 program=spinner_spec(None))
+    child_g = ppm.create_process("child-g", host="gamma", parent=root,
+                                 program=spinner_spec(None))
+    forest = ppm.snapshot()
+    assert not forest.is_forest()
+    assert forest.roots() == [root]
+    assert set(forest.children(root)) == {child_b, child_g}
+    assert forest.subtree_hosts(root) == {"alpha", "beta", "gamma"}
+
+
+def test_snapshot_includes_kernel_forked_descendants(ppm, world):
+    spec = fork_tree_spec(
+        [("worker-1", 50.0, spinner_spec(None)),
+         ("worker-2", 60.0, fork_tree_spec(
+             [("leaf", 40.0, spinner_spec(None))]))])
+    root = ppm.create_process("master", program=spec)
+    world.run_for(1_000.0)
+    forest = ppm.snapshot()
+    commands = {forest.records[g].command for g in forest.descendants(root)}
+    assert commands == {"worker-1", "worker-2", "leaf"}
+
+
+def test_exited_interior_marked_not_pruned(ppm, world):
+    spec = fork_tree_spec([("survivor", 10.0, spinner_spec(None))],
+                          duration_ms=200.0)
+    root = ppm.create_process("parent", program=spec)
+    world.run_for(2_000.0)  # parent exits, survivor lives
+    forest = ppm.snapshot()
+    assert root in forest
+    assert forest.records[root].state == "exited"
+    rendered = render_forest(forest)
+    assert "(exited)" in rendered
+    assert "survivor" in rendered
+
+
+def test_exited_leaf_pruned_but_in_unpruned_view(ppm, world):
+    gpid = ppm.create_process("brief", program=worker_spec(100.0))
+    world.run_for(1_000.0)
+    assert gpid not in ppm.snapshot(prune=True)
+    assert gpid in ppm.snapshot(prune=False)
+
+
+def test_snapshot_becomes_forest_on_host_crash(ppm, world):
+    root = ppm.create_process("root", program=spinner_spec(None))
+    mid = ppm.create_process("mid", host="beta", parent=root,
+                             program=spinner_spec(None))
+    leaf = ppm.create_process("leaf", host="gamma", parent=mid,
+                              program=spinner_spec(None))
+    world.host("beta").crash()
+    world.run_for(10_000.0)  # detection
+    forest = ppm.snapshot()
+    # beta's records are gone; gamma's leaf has an unknown parent.
+    assert "beta" in forest.missing_hosts or mid not in forest
+    assert leaf in forest
+    assert forest.is_forest()
+
+
+def test_snapshot_reports_stopped_state(ppm, world):
+    gpid = ppm.create_process("job", host="beta",
+                              program=spinner_spec(None))
+    ppm.client.stop(gpid)
+    forest = ppm.snapshot()
+    assert forest.records[gpid].state == "stopped"
+
+
+def test_snapshot_from_any_host_sees_everything(ppm, world):
+    root = ppm.create_process("root", program=spinner_spec(None))
+    ppm.create_process("remote", host="beta", parent=root,
+                       program=spinner_spec(None))
+    # A tool on beta sees the same computation.
+    from repro import PPMClient
+    beta_client = PPMClient(world, "lfc", "beta").connect()
+    forest = beta_client.snapshot()
+    assert root in forest
+    assert len(forest) == 2
+
+
+def test_rstats_aggregates_exited_processes(ppm, world):
+    for i in range(3):
+        ppm.create_process("batch", program=worker_spec(200.0 + i * 50))
+    ppm.create_process("rbatch", host="beta", program=worker_spec(100.0))
+    world.run_for(5_000.0)
+    report = ppm.rstats_report()
+    by_command = {usage.command: usage for usage in report}
+    assert by_command["batch"].count == 3
+    assert by_command["rbatch"].count == 1
+    assert by_command["rbatch"].hosts == ("beta",)
+    # Live processes are absent from rstats.
+    ppm.create_process("alive", program=spinner_spec(None))
+    report2 = ppm.rstats_report()
+    assert "alive" not in {usage.command for usage in report2}
+
+
+def test_rstats_rendering(ppm, world):
+    ppm.create_process("batch", program=worker_spec(100.0))
+    world.run_for(1_000.0)
+    from repro.core.rstats import render_report
+    text = render_report(ppm.rstats_report())
+    assert "batch" in text
+    assert "command" in text
+
+
+def test_triangle_cycle_produces_no_duplicates(ppm, world):
+    # alpha-beta, alpha-gamma, beta-gamma: the visited list carried by
+    # the gather prevents re-querying around the triangle.
+    ppm.create_process("j1", host="beta", program=spinner_spec(None))
+    ppm.create_process("j2", host="gamma", program=spinner_spec(None))
+    from repro import PPMClient
+    beta_client = PPMClient(world, "lfc", "beta").connect()
+    beta_client.create_process("j3", host="gamma",
+                               program=spinner_spec(None))
+    assert "gamma" in lpm_of(world, "beta").authenticated_siblings()
+    forest = ppm.snapshot()
+    assert len(forest) == 3  # no double-counted records
+
+
+def test_diamond_duplicate_suppressed_by_signed_timestamp(ppm, world):
+    # Diamond: alpha-beta, alpha-gamma, beta-delta, gamma-delta.  Both
+    # branches reach delta concurrently; the signed-timestamp seen-set
+    # drops the second request (section 4).
+    from repro import PPMClient
+    ppm.create_process("j1", host="beta", program=spinner_spec(None))
+    ppm.create_process("j2", host="gamma", program=spinner_spec(None))
+    beta_client = PPMClient(world, "lfc", "beta").connect()
+    beta_client.create_process("j3", host="delta",
+                               program=spinner_spec(None))
+    gamma_client = PPMClient(world, "lfc", "gamma").connect()
+    gamma_client.create_process("j4", host="delta",
+                                program=spinner_spec(None))
+    lpm_delta = lpm_of(world, "delta")
+    assert {"beta", "gamma"} <= set(lpm_delta.authenticated_siblings())
+    before = lpm_delta.broadcast.duplicates_dropped
+    forest = ppm.snapshot()
+    assert len(forest) == 4  # delta's records counted exactly once
+    assert lpm_delta.broadcast.duplicates_dropped > before
+
+
+def test_forest_rendering_matches_figure1_shape(ppm, world):
+    root = ppm.create_process("master", program=spinner_spec(None))
+    ppm.create_process("slave-1", host="beta", parent=root,
+                       program=spinner_spec(None))
+    ppm.create_process("slave-2", host="gamma", parent=root,
+                       program=spinner_spec(None))
+    text = render_forest(ppm.snapshot())
+    assert "<alpha," in text
+    assert "<beta," in text
+    assert "<gamma," in text
+    assert "master" in text

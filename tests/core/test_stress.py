@@ -1,0 +1,89 @@
+"""Stress tests: large computations, deep genealogies, wide sessions."""
+
+import pytest
+
+from repro import PPMClient, fork_tree_spec, sleeper_spec, spinner_spec, worker_spec
+
+from .conftest import build_world, lpm_of
+
+
+def test_hundreds_of_processes_per_host(world):
+    client = PPMClient(world, "lfc", "alpha").connect()
+    gpids = [client.create_process("job-%03d" % index,
+                                   program=sleeper_spec(None))
+             for index in range(200)]
+    forest = client.snapshot()
+    assert len(forest) == 200
+    assert set(forest.records) == set(gpids)
+    # Control still works at the tail end of the pid range.
+    client.stop(gpids[-1])
+    proc = world.host("alpha").kernel.procs.get(gpids[-1].pid)
+    assert proc.state.value == "stopped"
+
+
+def test_deep_genealogy_chain(world):
+    # A 30-deep chain of forks via nested fork-tree specs.
+    spec = spinner_spec(None)
+    for depth in range(30):
+        spec = fork_tree_spec([("level-%d" % depth, 5.0, spec)])
+    client = PPMClient(world, "lfc", "alpha").connect()
+    root = client.create_process("deep-root", program=spec)
+    world.run_for(5_000.0)
+    forest = client.snapshot()
+    descendants = forest.descendants(root)
+    assert len(descendants) == 30
+    # The whole chain hangs off one root.
+    assert forest.roots() == [root]
+
+
+def test_wide_fanout_across_hosts(world):
+    client = PPMClient(world, "lfc", "alpha").connect()
+    root = client.create_process("root", program=spinner_spec(None))
+    for host in ("beta", "gamma", "delta"):
+        for index in range(40):
+            client.create_process("w-%s-%d" % (host, index), host=host,
+                                  parent=root,
+                                  program=sleeper_spec(None))
+    forest = client.snapshot()
+    assert len(forest) == 121
+    assert len(forest.children(root)) == 120
+    assert forest.subtree_hosts(root) == {"alpha", "beta", "gamma",
+                                          "delta"}
+
+
+def test_churn_heavy_rstats(world):
+    client = PPMClient(world, "lfc", "alpha").connect()
+    for burst in range(10):
+        for index in range(20):
+            client.create_process(
+                "burst", host=("beta" if index % 2 else "alpha"),
+                program=worker_spec(100.0 + index))
+        world.run_for(10_000.0)
+    records = client.rstats()
+    assert len(records) == 200
+    from repro.core.rstats import build_report
+    (usage,) = build_report(records)
+    assert usage.count == 200
+    assert usage.hosts == ("alpha", "beta")
+
+
+def test_snapshot_cost_scales_with_record_count(world):
+    # Collecting 120 records costs more than collecting 5, but the
+    # snapshot stays well-behaved (one gather round either way).
+    client = PPMClient(world, "lfc", "alpha").connect()
+    for index in range(5):
+        client.create_process("small-%d" % index, host="beta",
+                              program=sleeper_spec(None))
+    client.snapshot()  # warm
+    start = world.now_ms
+    client.snapshot()
+    small_cost = world.now_ms - start
+    for index in range(115):
+        client.create_process("big-%d" % index, host="beta",
+                              program=sleeper_spec(None))
+    start = world.now_ms
+    forest = client.snapshot()
+    big_cost = world.now_ms - start
+    assert len(forest) == 120
+    assert big_cost > small_cost
+    assert big_cost < 20 * small_cost  # linear-ish, not explosive

@@ -1,0 +1,115 @@
+"""Tests for LPM time-to-live and session persistence (sections 2-4)."""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, PersonalProcessManager, spinner_spec, worker_spec
+
+from .conftest import build_world, lpm_of
+
+
+SHORT_TTL = PPMConfig(lpm_time_to_live_ms=5_000.0)
+
+
+@pytest.fixture
+def short_world():
+    return build_world(config=SHORT_TTL)
+
+
+def test_idle_lpm_expires_after_ttl(short_world):
+    client = PPMClient(short_world, "lfc", "alpha").connect()
+    lpm = lpm_of(short_world, "alpha")
+    client.close()
+    short_world.run_for(6_000.0)
+    assert not lpm.alive
+    assert not lpm.proc.alive
+    # The pmd registry was cleaned up.
+    assert not short_world.host("alpha").pmd_daemon.knows("lfc")
+
+
+def test_lpm_survives_while_processes_run(short_world):
+    client = PPMClient(short_world, "lfc", "alpha").connect()
+    client.create_process("jobs", program=spinner_spec(None))
+    lpm = lpm_of(short_world, "alpha")
+    client.close()
+    short_world.run_for(60_000.0)
+    assert lpm.alive  # "The PPM may outlive the user login session"
+
+
+def test_lpm_survives_while_tool_attached(short_world):
+    client = PPMClient(short_world, "lfc", "alpha").connect()
+    lpm = lpm_of(short_world, "alpha")
+    short_world.run_for(60_000.0)
+    assert client.connected
+    assert lpm.alive
+
+
+def test_ttl_rearms_after_last_process_exits(short_world):
+    client = PPMClient(short_world, "lfc", "alpha").connect()
+    client.create_process("brief", program=worker_spec(2_000.0))
+    lpm = lpm_of(short_world, "alpha")
+    client.close()
+    short_world.run_for(4_000.0)  # process exited at ~2 s
+    assert lpm.alive
+    short_world.run_for(60_000.0)  # TTL from exit + delivery
+    assert not lpm.alive
+
+
+def test_relogin_yields_existing_lpm_and_state(short_world):
+    # "A user's request for a LPM following a new login will yield an
+    # existing one ... users regain knowledge and control of all of the
+    # processes created under the PPM mechanism." (section 4)
+    ppm = PersonalProcessManager(short_world, "lfc", "alpha")
+    ppm.start()
+    gpid = ppm.create_process("longrun", program=spinner_spec(None))
+    lpm = lpm_of(short_world, "alpha")
+    ppm.logout()
+    short_world.run_for(3_000.0)
+    client2 = ppm.relogin()
+    assert lpm_of(short_world, "alpha") is lpm
+    forest = client2.snapshot()
+    assert gpid in forest
+    client2.stop(gpid)
+    proc = short_world.host("alpha").kernel.procs.get(gpid.pid)
+    assert proc.state.value == "stopped"
+
+
+def test_remote_lpms_expire_independently(short_world):
+    client = PPMClient(short_world, "lfc", "alpha").connect()
+    client.create_process("local", program=spinner_spec(None))
+    client.create_process("remote", host="beta",
+                          program=worker_spec(1_000.0))
+    lpm_alpha = lpm_of(short_world, "alpha")
+    lpm_beta = lpm_of(short_world, "beta")
+    short_world.run_for(60_000.0)
+    assert lpm_alpha.alive  # has a process (and a tool)
+    assert not lpm_beta.alive  # its only process exited
+
+
+def test_ccs_does_not_expire_while_siblings_exist(short_world):
+    # "For the CCS, the time-to-live interval has a different meaning:
+    # as long as there is any sibling LPM in the networked system,
+    # time-to-live is not decremented." (section 5)
+    short_world.write_recovery_file("lfc", ["alpha", "beta"])
+    client = PPMClient(short_world, "lfc", "alpha").connect()
+    client.create_process("remote", host="beta",
+                          program=spinner_spec(None))
+    lpm_alpha = lpm_of(short_world, "alpha")
+    assert lpm_alpha.ccs_host == "alpha"
+    client.close()
+    short_world.run_for(120_000.0)
+    # alpha is idle (no user processes) but is the CCS with a sibling.
+    assert lpm_alpha.alive
+    assert lpm_of(short_world, "beta").alive
+
+
+def test_expired_lpm_allows_fresh_creation(short_world):
+    client = PPMClient(short_world, "lfc", "alpha").connect()
+    first = lpm_of(short_world, "alpha")
+    client.close()
+    short_world.run_for(10_000.0)
+    assert not first.alive
+    client2 = PPMClient(short_world, "lfc", "alpha").connect()
+    second = lpm_of(short_world, "alpha")
+    assert second is not first
+    assert second.alive
+    assert client2.ping()["ok"]

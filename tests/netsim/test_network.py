@@ -1,0 +1,161 @@
+"""Tests for topology, routing, partitions, and crashes."""
+
+import pytest
+
+from repro.errors import (
+    NoSuchHostError,
+    SimulationError,
+    UnreachableHostError,
+)
+from repro.netsim import HostClass, Network, Simulator
+
+
+def make_network(names=("a", "b", "c")):
+    sim = Simulator()
+    net = Network(sim)
+    for name in names:
+        net.add_node(name)
+    return sim, net
+
+
+def test_add_and_lookup_node():
+    _, net = make_network()
+    assert net.node("a").name == "a"
+    with pytest.raises(NoSuchHostError):
+        net.node("zz")
+
+
+def test_duplicate_node_rejected():
+    _, net = make_network()
+    with pytest.raises(SimulationError):
+        net.add_node("a")
+
+
+def test_self_link_rejected():
+    _, net = make_network()
+    with pytest.raises(SimulationError):
+        net.add_link("a", "a")
+
+
+def test_path_on_chain():
+    _, net = make_network()
+    net.add_link("a", "b")
+    net.add_link("b", "c")
+    assert net.find_path("a", "c") == ["a", "b", "c"]
+    assert net.find_path("a", "a") == ["a"]
+
+
+def test_shortest_path_preferred():
+    _, net = make_network(("a", "b", "c", "d"))
+    net.add_link("a", "b")
+    net.add_link("b", "c")
+    net.add_link("c", "d")
+    net.add_link("a", "d")
+    assert net.find_path("a", "d") == ["a", "d"]
+
+
+def test_no_path_when_disconnected():
+    _, net = make_network()
+    net.add_link("a", "b")
+    assert net.find_path("a", "c") is None
+    assert not net.reachable("a", "c")
+
+
+def test_ethernet_builds_full_mesh():
+    _, net = make_network(("a", "b", "c", "d"))
+    net.ethernet(["a", "b", "c", "d"])
+    assert len(net.links) == 6
+    # Idempotent: no duplicate links.
+    net.ethernet(["a", "b", "c", "d"])
+    assert len(net.links) == 6
+
+
+def test_transit_delay_includes_per_link_latency_and_bytes():
+    _, net = make_network()
+    net.add_link("a", "b", latency_ms=10.0, bandwidth_bytes_per_ms=100.0)
+    net.add_link("b", "c", latency_ms=10.0, bandwidth_bytes_per_ms=100.0)
+    # Two links: 2 * (10 + 200/100) = 24.
+    assert net.transit_delay_ms("a", "c", 200) == pytest.approx(24.0)
+
+
+def test_transit_raises_when_unreachable():
+    _, net = make_network()
+    with pytest.raises(UnreachableHostError):
+        net.transit_delay_ms("a", "b", 10)
+
+
+def test_crash_removes_paths_through_host():
+    _, net = make_network()
+    net.add_link("a", "b")
+    net.add_link("b", "c")
+    net.crash_host("b")
+    assert not net.reachable("a", "c")
+    assert not net.reachable("a", "b")
+    net.revive_host("b")
+    assert net.reachable("a", "c")
+
+
+def test_partition_cuts_cross_group_links():
+    _, net = make_network()
+    net.ethernet(["a", "b", "c"])
+    net.set_partition([{"a"}, {"b", "c"}])
+    assert not net.reachable("a", "b")
+    assert net.reachable("b", "c")
+    net.heal_partition()
+    assert net.reachable("a", "b")
+
+
+def test_partition_remainder_forms_implicit_group():
+    _, net = make_network(("a", "b", "c", "d"))
+    net.ethernet(["a", "b", "c", "d"])
+    net.set_partition([{"a", "b"}])
+    assert net.reachable("a", "b")
+    assert net.reachable("c", "d")
+    assert not net.reachable("a", "c")
+
+
+def test_overlapping_partition_groups_rejected():
+    _, net = make_network()
+    net.ethernet(["a", "b", "c"])
+    with pytest.raises(SimulationError):
+        net.set_partition([{"a", "b"}, {"b", "c"}])
+
+
+def test_link_state_toggle():
+    _, net = make_network()
+    net.add_link("a", "b")
+    net.set_link_state("a", "b", up=False)
+    assert not net.reachable("a", "b")
+    net.set_link_state("a", "b", up=True)
+    assert net.reachable("a", "b")
+    with pytest.raises(NoSuchHostError):
+        net.set_link_state("a", "c", up=False)
+
+
+def test_topology_listener_fires_on_changes():
+    _, net = make_network()
+    net.ethernet(["a", "b", "c"])
+    calls = []
+    net.add_topology_listener(lambda: calls.append(1))
+    net.crash_host("a")
+    net.revive_host("a")
+    net.set_partition([{"a"}])
+    net.heal_partition()
+    assert len(calls) == 4
+
+
+def test_node_host_class_recorded():
+    sim = Simulator()
+    net = Network(sim)
+    node = net.add_node("sun", host_class=HostClass.SUN_2)
+    assert node.host_class is HostClass.SUN_2
+
+
+def test_services_register_and_unregister():
+    _, net = make_network()
+    node = net.node("a")
+    node.listen("inetd", lambda ep, payload: None)
+    assert "inetd" in node.services
+    node.unlisten("inetd")
+    assert "inetd" not in node.services
+    node.unlisten("inetd")  # idempotent

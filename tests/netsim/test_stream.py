@@ -1,0 +1,206 @@
+"""Tests for reliable stream connections."""
+
+import pytest
+
+from repro.errors import ConnectionClosedError
+from repro.netsim import Network, Simulator, StreamConnection
+
+
+class Collector:
+    """Records messages and close reasons for one endpoint."""
+
+    def __init__(self):
+        self.messages = []
+        self.closes = []
+        self.endpoint = None
+
+    def attach(self, endpoint):
+        self.endpoint = endpoint
+        endpoint.on_message = lambda payload, ep: self.messages.append(payload)
+        endpoint.on_close = lambda reason, ep: self.closes.append(reason)
+
+
+def build(names=("a", "b", "c")):
+    sim = Simulator()
+    net = Network(sim)
+    for name in names:
+        net.add_node(name)
+    net.ethernet(names)
+    return sim, net
+
+
+def open_pair(sim, net, src="a", dst="b", service="svc"):
+    """Open a connection and return (client_collector, server_collector)."""
+    client, server = Collector(), Collector()
+
+    def acceptor(endpoint, payload):
+        server.attach(endpoint)
+
+    net.node(dst).listen(service, acceptor)
+    StreamConnection.connect(net, src, dst, service,
+                             on_established=client.attach)
+    sim.run_until_true(lambda: client.endpoint is not None,
+                       timeout_ms=10_000.0)
+    assert client.endpoint is not None, "connection never established"
+    return client, server
+
+
+def test_connect_and_exchange_messages():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    client.endpoint.send("hello", nbytes=64)
+    server.endpoint.send("world", nbytes=64)
+    sim.run_for(1_000.0)
+    assert server.messages == ["hello"]
+    assert client.messages == ["world"]
+
+
+def test_connection_setup_takes_time():
+    sim, net = build()
+    established_at = []
+
+    def acceptor(endpoint, payload):
+        pass
+
+    net.node("b").listen("svc", acceptor)
+    StreamConnection.connect(
+        net, "a", "b", "svc", setup_ms=100.0,
+        on_established=lambda ep: established_at.append(sim.now_ms))
+    sim.run_for(1_000.0)
+    assert established_at and established_at[0] > 100.0
+
+
+def test_messages_delivered_in_order():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    # Later messages carry less extra delay; ordering must still hold.
+    for i, extra in enumerate([50.0, 30.0, 10.0, 0.0]):
+        client.endpoint.send(i, nbytes=32, extra_delay_ms=extra)
+    sim.run_for(1_000.0)
+    assert server.messages == [0, 1, 2, 3]
+
+
+def test_connect_refused_without_service():
+    sim, net = build()
+    failures = []
+    StreamConnection.connect(net, "a", "b", "missing",
+                             on_failed=failures.append)
+    sim.run_for(10_000.0)
+    assert failures and "refused" in failures[0]
+
+
+def test_connect_fails_when_unreachable():
+    sim, net = build()
+    net.crash_host("b")
+    failures = []
+    StreamConnection.connect(net, "a", "b", "svc",
+                             on_failed=failures.append)
+    sim.run_for(10_000.0)
+    assert failures == ["unreachable"]
+
+
+def test_payload_passed_to_acceptor():
+    sim, net = build()
+    received = []
+    net.node("b").listen("svc",
+                         lambda ep, payload: received.append(payload))
+    StreamConnection.connect(net, "a", "b", "svc", payload={"user": "lfc"})
+    sim.run_for(1_000.0)
+    assert received == [{"user": "lfc"}]
+
+
+def test_orderly_close_notifies_peer_only():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    client.endpoint.close()
+    sim.run_for(1_000.0)
+    assert server.closes == ["closed"]
+    assert client.closes == []  # the initiator asked; no callback
+    assert not client.endpoint.open
+    assert not server.endpoint.open
+
+
+def test_send_after_close_raises():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    client.endpoint.close()
+    with pytest.raises(ConnectionClosedError):
+        client.endpoint.send("late")
+
+
+def test_crash_breaks_connection_after_detection_delay():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    before = sim.now_ms
+    net.crash_host("b")
+    sim.run_for(10_000.0)
+    assert client.closes == ["connection timed out"]
+    # The crashed side hears nothing.
+    assert server.closes == []
+    assert net.stats.connections_broken == 1
+    assert sim.now_ms > before
+
+
+def test_partition_breaks_connection_and_heal_before_detection_saves_it():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    net.set_partition([{"a"}, {"b", "c"}])
+    # Heal before the detection delay (2000 ms) elapses.
+    sim.run_for(100.0)
+    net.heal_partition()
+    sim.run_for(10_000.0)
+    assert client.closes == []
+    assert server.closes == []
+    client.endpoint.send("still alive")
+    sim.run_for(1_000.0)
+    assert server.messages == ["still alive"]
+
+
+def test_send_onto_dead_path_discovers_break_immediately():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    net.set_partition([{"a"}, {"b", "c"}])
+    with pytest.raises(ConnectionClosedError):
+        client.endpoint.send("into the void")
+    assert not client.endpoint.open
+
+
+def test_messages_in_flight_lost_on_break():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    client.endpoint.send("doomed", nbytes=64, extra_delay_ms=500.0)
+    net.crash_host("b")
+    sim.run_for(10_000.0)
+    assert server.messages == []
+
+
+def test_stats_count_messages_and_connections():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    client.endpoint.send("x", nbytes=100)
+    client.endpoint.send("y", nbytes=50)
+    sim.run_for(1_000.0)
+    assert net.stats.connections_opened == 1
+    assert net.stats.stream_messages == 2
+    assert net.stats.stream_bytes == 150
+    assert net.open_connection_count() == 1
+    client.endpoint.close()
+    assert net.open_connection_count() == 0
+
+
+def test_multihop_connection_survives_alternate_path():
+    # a-b-c chain plus a-c direct: killing b must not break an a-c circuit.
+    sim = Simulator()
+    net = Network(sim)
+    for name in ("a", "b", "c"):
+        net.add_node(name)
+    net.add_link("a", "b")
+    net.add_link("b", "c")
+    net.add_link("a", "c")
+    client, server = open_pair(sim, net, src="a", dst="c")
+    net.crash_host("b")
+    sim.run_for(10_000.0)
+    assert client.closes == []
+    client.endpoint.send("rerouted")
+    sim.run_for(1_000.0)
+    assert server.messages == ["rerouted"]

@@ -1,0 +1,49 @@
+"""Property-based tests for the datagram ARQ under random loss."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ControlAction, PPMClient, PPMConfig, spinner_spec
+
+from ..core.conftest import build_world
+
+
+DGRAM = PPMConfig(transport="datagram", datagram_rto_ms=150.0,
+                  datagram_max_retries=8)
+
+
+@given(loss=st.floats(min_value=0.0, max_value=0.4),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_operations_exactly_once_under_loss(loss, seed):
+    """For any loss rate up to 40% and any seed, a control sequence
+    completes with exactly-once signal semantics."""
+    world = build_world(seed=seed, config=DGRAM)
+    client = PPMClient(world, "lfc", "alpha").connect()
+    gpid = client.create_process("target", host="beta",
+                                 program=spinner_spec(None))
+    world.datagrams.loss_rate = loss
+    proc = world.host("beta").kernel.procs.get(gpid.pid)
+    for round_number in range(3):
+        client.stop(gpid)
+        assert proc.state.value == "stopped"
+        client.cont(gpid)
+        assert proc.state.value == "running"
+    # SIGSTOP/SIGCONT delivered exactly once per request.
+    assert proc.rusage.signals_received == 6
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_gather_complete_under_loss(seed):
+    world = build_world(seed=seed, config=DGRAM)
+    client = PPMClient(world, "lfc", "alpha").connect()
+    expected = set()
+    for host in ("beta", "gamma"):
+        expected.add(client.create_process("job-%s" % host, host=host,
+                                           program=spinner_spec(None)))
+    world.datagrams.loss_rate = 0.3
+    forest = client.snapshot()
+    assert set(forest.records) == expected
+    assert not forest.missing_hosts

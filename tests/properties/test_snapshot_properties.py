@@ -1,0 +1,90 @@
+"""Property-based tests for the snapshot forest invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.snapshot import ProcessRecord, SnapshotForest
+from repro.ids import GlobalPid
+
+HOSTS = ["a", "b", "c"]
+
+
+@st.composite
+def forests(draw):
+    """Random well-formed record sets: each record's parent is either
+    None or an earlier record (guaranteeing acyclic genealogy), with a
+    random subset marked exited."""
+    count = draw(st.integers(min_value=0, max_value=25))
+    records = []
+    for index in range(count):
+        host = draw(st.sampled_from(HOSTS))
+        gpid = GlobalPid(host, 100 + index)
+        if records and draw(st.booleans()):
+            parent = draw(st.sampled_from(records)).gpid
+        else:
+            parent = None
+        state = draw(st.sampled_from(
+            ["running", "sleeping", "stopped", "exited"]))
+        records.append(ProcessRecord(
+            gpid=gpid, parent=parent, user="u", command="c%d" % index,
+            state=state, start_ms=float(index)))
+    return SnapshotForest(0.0, records=records)
+
+
+@given(forests())
+@settings(max_examples=200, deadline=None)
+def test_every_record_reachable_from_exactly_one_root(forest):
+    seen = []
+    for root in forest.roots():
+        seen.append(root)
+        seen.extend(forest.descendants(root))
+    assert sorted(seen) == sorted(forest.records)
+    assert len(seen) == len(set(seen))
+
+
+@given(forests())
+@settings(max_examples=200, deadline=None)
+def test_children_are_consistent_with_parents(forest):
+    for gpid, record in forest.records.items():
+        for child in forest.children(gpid):
+            assert forest.records[child].parent == gpid
+        if record.parent is not None and record.parent in forest.records:
+            assert gpid in forest.children(record.parent)
+
+
+@given(forests())
+@settings(max_examples=200, deadline=None)
+def test_prune_keeps_all_alive_and_only_useful_exited(forest):
+    pruned = forest.prune_exited_leaves()
+    # Every living process survives pruning.
+    for gpid, record in forest.records.items():
+        if not record.exited:
+            assert gpid in pruned
+    # Every retained exited process has a living descendant.
+    for gpid in pruned.records:
+        record = pruned.records[gpid]
+        if record.exited:
+            descendants = forest.descendants(gpid)
+            assert any(not forest.records[d].exited for d in descendants)
+
+
+@given(forests())
+@settings(max_examples=200, deadline=None)
+def test_prune_is_idempotent(forest):
+    once = forest.prune_exited_leaves()
+    twice = once.prune_exited_leaves()
+    assert set(once.records) == set(twice.records)
+
+
+@given(forests())
+@settings(max_examples=200, deadline=None)
+def test_subtree_hosts_subset_of_forest_hosts(forest):
+    for root in forest.roots():
+        assert forest.subtree_hosts(root) <= forest.hosts() | {root.host}
+
+
+@given(forests())
+@settings(max_examples=100, deadline=None)
+def test_records_roundtrip_through_wire_form(forest):
+    for record in forest.records.values():
+        assert ProcessRecord.from_dict(record.to_dict()) == record

@@ -1,0 +1,99 @@
+"""Whole-system property test: random operation sequences against a
+live PPM session keep the paper's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ControlAction,
+    HostClass,
+    PPMClient,
+    PPMError,
+    World,
+    install,
+    spinner_spec,
+    worker_spec,
+)
+
+HOSTS = ["h0", "h1", "h2"]
+
+#: One step of the random schedule.
+operations = st.sampled_from(
+    ["create_local", "create_remote", "stop", "cont", "kill",
+     "snapshot", "advance", "crash_h2", "reboot_h2"])
+
+
+def build():
+    world = World(seed=23)
+    for name in HOSTS:
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("u", 1001)
+    install(world)
+    world.write_recovery_file("u", ["h0"])
+    client = PPMClient(world, "u", "h0").connect()
+    return world, client
+
+
+@given(st.lists(operations, min_size=1, max_size=25),
+       st.randoms(use_true_random=False))
+@settings(max_examples=25, deadline=None)
+def test_random_schedules_preserve_invariants(ops, rng):
+    world, client = build()
+    created = []
+    counter = [0]
+
+    def pick_target():
+        return rng.choice(created) if created else None
+
+    for op in ops:
+        try:
+            if op == "create_local":
+                counter[0] += 1
+                created.append(client.create_process(
+                    "job%d" % counter[0], program=spinner_spec(None)))
+            elif op == "create_remote":
+                counter[0] += 1
+                created.append(client.create_process(
+                    "job%d" % counter[0], host=rng.choice(HOSTS[1:]),
+                    program=worker_spec(5_000.0)))
+            elif op in ("stop", "cont", "kill"):
+                target = pick_target()
+                if target is not None:
+                    action = {"stop": ControlAction.STOP,
+                              "cont": ControlAction.CONTINUE,
+                              "kill": ControlAction.KILL}[op]
+                    client.control(target, action)
+            elif op == "snapshot":
+                forest = client.snapshot(prune=False)
+                # Invariant: every live created process on a live host
+                # appears in the snapshot.
+                for gpid in created:
+                    host = world.host(gpid.host)
+                    if not host.up:
+                        continue
+                    proc = host.kernel.procs.find(gpid.pid)
+                    if proc is not None and proc.alive:
+                        assert gpid in forest
+                # Invariant: no duplicate records (by construction of
+                # the dict) and genealogy acyclic.
+                seen = []
+                for root in forest.roots():
+                    seen.append(root)
+                    seen.extend(forest.descendants(root))
+                assert len(seen) == len(set(seen)) == len(forest)
+            elif op == "advance":
+                world.run_for(2_000.0)
+            elif op == "crash_h2":
+                world.host("h2").crash()
+            elif op == "reboot_h2":
+                world.host("h2").reboot()
+        except PPMError:
+            # Expected when targets died or hosts are down; the session
+            # itself must survive.
+            pass
+        # Invariant: the home LPM stays alive through everything.
+        assert world.lpms[("h0", "u")].alive
+
+    # The session still answers after the whole schedule.
+    assert client.ping()["ok"]

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def test_version(capsys):
+    assert main(["version"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out
+    assert "ICDCS 1986" in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "demo" in capsys.readouterr().out
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "snapshot at" in out
+    assert "Exited process resource consumption" in out
+    assert "(stopped)" in out
+
+
+def test_demo_deterministic(capsys):
+    main(["demo", "--seed", "5"])
+    first = capsys.readouterr().out
+    main(["demo", "--seed", "5"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_shell_scripted(capsys):
+    import repro.cli as cli
+
+    script = io.StringIO(
+        "create ucbarpa job spinner\n"
+        "run 1000\n"
+        "run bogus\n"
+        "snapshot\n"
+        "quit\n")
+    parser_args = type("Args", (), {"seed": 2, "input": script})
+    assert cli.cmd_shell(parser_args) == 0
+    out = capsys.readouterr().out
+    assert "created <ucbarpa," in out
+    assert "advanced to" in out
+    assert "usage: run <ms>" in out
+    assert "job" in out
+
+
+def test_module_entry_point():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "version"],
+        capture_output=True, text=True, timeout=60)
+    assert result.returncode == 0
+    assert "repro" in result.stdout

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+SIM_EXAMPLES = ["quickstart.py", "distributed_build.py",
+                "crash_recovery.py", "session_persistence.py",
+                "resilient_service.py", "ipc_pipeline.py"]
+
+
+def run_example(name, timeout=180):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True, text=True, timeout=timeout)
+
+
+@pytest.mark.parametrize("name", SIM_EXAMPLES)
+def test_simulated_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_quickstart_output_shape():
+    result = run_example("quickstart.py")
+    assert "snapshot at" in result.stdout
+    assert "<ucbarpa," in result.stdout
+    assert "Exited process resource consumption" in result.stdout
+
+
+def test_crash_recovery_output_shape():
+    result = run_example("crash_recovery.py")
+    assert "ccs_assumed" in result.stdout
+    assert "ccs_relinquished" in result.stdout
+    assert "time_to_die_armed" in result.stdout
+
+
+@pytest.mark.skipif(not os.path.isdir("/proc"),
+                    reason="requires a Linux /proc")
+def test_real_processes_example_runs():
+    result = run_example("real_processes.py")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "genealogical snapshot" in result.stdout
+    assert "coordinator" in result.stdout

@@ -1,0 +1,92 @@
+"""Tests for the DOT/JSON exporters (the graphics-interface hooks)."""
+
+import json
+
+import pytest
+
+from repro.core.snapshot import ProcessRecord, SnapshotForest
+from repro.ids import GlobalPid
+from repro.tracing import TraceEventType, TraceRecorder
+from repro.tracing.export import (
+    events_to_json,
+    forest_to_dot,
+    forest_to_json,
+    topology_to_dot,
+)
+
+
+def make_forest():
+    records = [
+        ProcessRecord(gpid=GlobalPid("a", 1), parent=None, user="u",
+                      command="root", state="exited", start_ms=0.0),
+        ProcessRecord(gpid=GlobalPid("b", 2), parent=GlobalPid("a", 1),
+                      user="u", command="kid", state="stopped",
+                      start_ms=1.0),
+    ]
+    return SnapshotForest(9.0, records=records, missing_hosts={"c"})
+
+
+class TestDot:
+    def test_forest_clusters_and_edges(self):
+        dot = forest_to_dot(make_forest())
+        assert dot.startswith("digraph")
+        assert 'label="a"' in dot and 'label="b"' in dot  # host clusters
+        assert '"<a,1>" -> "<b,2>";' in dot
+        assert "lightyellow" in dot  # stopped fill
+        assert "grey80" in dot       # exited fill
+
+    def test_topology_highlights_ccs(self):
+        dot = topology_to_dot(["a", "b", "c"],
+                              [("b", "a"), ("b", "c"), ("a", "b")],
+                              ccs_host="a")
+        assert dot.startswith("graph")
+        assert dot.count("--") == 2  # duplicate edge folded
+        assert "CCS" in dot
+        assert "lightblue" in dot
+
+    def test_quote_escapes(self):
+        dot = topology_to_dot(['we"ird'], [])
+        assert r"\"" in dot
+
+
+class TestJson:
+    def test_events_roundtrip(self):
+        clock = [0.0]
+        recorder = TraceRecorder(lambda: clock[0])
+        recorder.record(TraceEventType.EXIT, host="a",
+                        gpid=GlobalPid("a", 5), status=3)
+        data = json.loads(events_to_json(recorder.events, indent=2))
+        assert data[0]["type"] == "exit"
+        assert data[0]["gpid"] == "<a,5>"
+        assert data[0]["details"]["status"] == 3
+
+    def test_forest_json_structure(self):
+        data = json.loads(forest_to_json(make_forest()))
+        assert data["roots"] == ["<a,1>"]
+        assert data["missing_hosts"] == ["c"]
+        assert len(data["records"]) == 2
+        # Records round-trip through the standard dict form.
+        from repro.core.snapshot import ProcessRecord
+        restored = [ProcessRecord.from_dict(r) for r in data["records"]]
+        assert {r.gpid for r in restored} == {GlobalPid("a", 1),
+                                              GlobalPid("b", 2)}
+
+
+class TestLiveIntegration:
+    def test_export_live_session(self):
+        from tests.core.conftest import build_world
+        from repro import PPMClient, spinner_spec
+        from repro.bench.scenarios import overlay_edges
+        world = build_world()
+        client = PPMClient(world, "lfc", "alpha").connect()
+        root = client.create_process("root", program=spinner_spec(None))
+        client.create_process("kid", host="beta", parent=root,
+                              program=spinner_spec(None))
+        forest = client.snapshot()
+        dot = forest_to_dot(forest)
+        assert "root" in dot and "kid" in dot
+        topo = topology_to_dot(["alpha", "beta"], overlay_edges(world),
+                               ccs_host="alpha")
+        assert '"alpha" -- "beta";' in topo
+        blob = json.loads(events_to_json(world.recorder.events))
+        assert any(entry["type"] == "lpm_created" for entry in blob)

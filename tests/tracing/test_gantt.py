@@ -1,0 +1,84 @@
+"""Tests for the state-chart display tool (section 7's display tool)."""
+
+import pytest
+
+from repro.ids import GlobalPid
+from repro.tracing import TraceEventType, TraceRecorder, render_gantt, state_intervals
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def history():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    a = GlobalPid("h", 1)
+    b = GlobalPid("h", 2)
+    recorder.record(TraceEventType.PROCESS_CREATED, host="h", gpid=a)
+    clock.now = 100.0
+    recorder.record(TraceEventType.FORK, host="h", gpid=b)
+    clock.now = 200.0
+    recorder.record(TraceEventType.STOPPED, host="h", gpid=a)
+    clock.now = 300.0
+    recorder.record(TraceEventType.CONTINUED, host="h", gpid=a)
+    clock.now = 400.0
+    recorder.record(TraceEventType.EXIT, host="h", gpid=b)
+    return recorder.events, a, b
+
+
+def test_state_intervals_reconstructed():
+    events, a, b = history()
+    intervals = state_intervals(events, until_ms=500.0)
+    assert intervals[a] == [(0.0, 200.0, "running"),
+                            (200.0, 300.0, "stopped"),
+                            (300.0, 500.0, "running")]
+    assert intervals[b] == [(100.0, 400.0, "running")]
+
+
+def test_duplicate_birth_events_ignored():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    a = GlobalPid("h", 1)
+    recorder.record(TraceEventType.PROCESS_CREATED, host="h", gpid=a)
+    recorder.record(TraceEventType.ADOPTED, host="h", gpid=a)
+    intervals = state_intervals(recorder.events, until_ms=100.0)
+    assert intervals[a] == [(0.0, 100.0, "running")]
+
+
+def test_render_gantt_shape():
+    events, a, b = history()
+    chart = render_gantt(events, until_ms=500.0, width=50)
+    lines = chart.splitlines()
+    assert len(lines) == 3  # header + two processes
+    row_a = next(line for line in lines if str(a) in line)
+    assert "=" in row_a and "." in row_a
+    # The stopped stretch sits between running stretches.
+    bar = row_a[row_a.index("|") + 1:row_a.rindex("|")]
+    assert bar.strip("=").strip() != ""  # contains dots
+    first_dot = bar.index(".")
+    assert "=" in bar[:first_dot] and "=" in bar[first_dot:]
+
+
+def test_render_gantt_empty():
+    assert "no process history" in render_gantt([], until_ms=10.0)
+
+
+def test_gantt_integration_with_live_session():
+    from tests.core.conftest import build_world
+    from repro import PPMClient, spinner_spec
+    world = build_world()
+    client = PPMClient(world, "lfc", "alpha").connect()
+    gpid = client.create_process("job", host="beta",
+                                 program=spinner_spec(None))
+    client.stop(gpid)
+    world.run_for(2_000.0)
+    client.cont(gpid)
+    world.run_for(2_000.0)
+    chart = render_gantt(world.recorder.events, until_ms=world.now_ms)
+    assert str(gpid) in chart
+    assert "." in chart  # the stopped stretch is visible

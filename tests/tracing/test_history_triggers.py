@@ -1,0 +1,166 @@
+"""Tests for the history store and history-dependent triggers."""
+
+from repro.ids import GlobalPid
+from repro.tracing import (
+    HistoryStore,
+    TraceEventType,
+    TraceRecorder,
+    Trigger,
+    TriggerEngine,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    return clock, recorder
+
+
+class TestHistory:
+    def test_follow_and_query(self):
+        clock, recorder = make()
+        history = HistoryStore()
+        history.follow(recorder)
+        gpid = GlobalPid("a", 5)
+        recorder.record(TraceEventType.FORK, host="a", gpid=gpid)
+        clock.now = 50.0
+        recorder.record(TraceEventType.EXIT, host="a", gpid=gpid)
+        assert len(history) == 2
+        assert [e.event_type for e in history.events_for(gpid)] == [
+            TraceEventType.FORK, TraceEventType.EXIT]
+        assert history.first_event(gpid).event_type is TraceEventType.FORK
+        assert history.last_event(gpid).event_type is TraceEventType.EXIT
+        assert history.known_processes() == [gpid]
+
+    def test_follow_includes_existing_events(self):
+        clock, recorder = make()
+        recorder.record(TraceEventType.EXIT, host="a")
+        history = HistoryStore()
+        history.follow(recorder, include_existing=True)
+        assert len(history) == 1
+
+    def test_unfollow_stops_feed(self):
+        clock, recorder = make()
+        history = HistoryStore()
+        history.follow(recorder)
+        history.unfollow()
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert len(history) == 0
+
+    def test_window_queries(self):
+        clock, recorder = make()
+        history = HistoryStore()
+        history.follow(recorder)
+        for t in (0.0, 100.0, 200.0, 300.0):
+            clock.now = t
+            recorder.record(TraceEventType.EXIT, host="a")
+        assert history.count_in_window(300.0, 150.0,
+                                       TraceEventType.EXIT) == 2
+        assert history.count_in_window(300.0, 1000.0,
+                                       TraceEventType.EXIT) == 4
+        assert history.count_in_window(300.0, 150.0,
+                                       TraceEventType.FORK) == 0
+
+    def test_window_query_per_process(self):
+        clock, recorder = make()
+        history = HistoryStore()
+        history.follow(recorder)
+        a, b = GlobalPid("h", 1), GlobalPid("h", 2)
+        recorder.record(TraceEventType.EXIT, host="h", gpid=a)
+        recorder.record(TraceEventType.EXIT, host="h", gpid=b)
+        assert history.count_in_window(0.0, 10.0, TraceEventType.EXIT,
+                                       gpid=a) == 1
+
+
+class TestTriggers:
+    def test_simple_event_trigger(self):
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        fired = []
+        engine.add(Trigger(name="on-exit", action=fired.append,
+                           event_type=TraceEventType.EXIT))
+        recorder.record(TraceEventType.FORK, host="a")
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert len(fired) == 1
+        assert fired[0].event_type is TraceEventType.EXIT
+        assert engine.firings[0].trigger_name == "on-exit"
+        # The firing itself was recorded.
+        assert recorder.count(TraceEventType.TRIGGER_FIRED) == 1
+
+    def test_once_trigger_disarms(self):
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        fired = []
+        engine.add(Trigger(name="one-shot", action=fired.append,
+                           event_type=TraceEventType.EXIT, once=True))
+        recorder.record(TraceEventType.EXIT, host="a")
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert len(fired) == 1
+
+    def test_max_firings(self):
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        fired = []
+        engine.add(Trigger(name="twice", action=fired.append,
+                           event_type=TraceEventType.EXIT, max_firings=2))
+        for _ in range(5):
+            recorder.record(TraceEventType.EXIT, host="a")
+        assert len(fired) == 2
+
+    def test_history_dependent_predicate(self):
+        # "History dependent events can be set by users to trigger
+        # process state changes" (section 1): fire on the third exit
+        # within a 100 ms window.
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        fired = []
+        engine.add(Trigger(
+            name="crash-loop", action=fired.append,
+            event_type=TraceEventType.EXIT,
+            predicate=lambda event, history: history.count_in_window(
+                event.time_ms, 100.0, TraceEventType.EXIT) >= 3))
+        for t in (0.0, 400.0, 440.0, 480.0):
+            clock.now = t
+            recorder.record(TraceEventType.EXIT, host="a")
+        assert len(fired) == 1
+        assert fired[0].time_ms == 480.0
+
+    def test_trigger_action_recording_does_not_recurse(self):
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        fired = []
+
+        def reacting_action(event):
+            fired.append(event)
+            # The action itself records an event; must not re-trigger.
+            recorder.record(TraceEventType.SIGNAL, host="x")
+
+        engine.add(Trigger(name="loopy", action=reacting_action))
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert len(fired) == 1
+
+    def test_remove_trigger(self):
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        fired = []
+        trigger = engine.add(Trigger(name="t", action=fired.append))
+        engine.remove(trigger)
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert fired == []
+
+    def test_close_detaches_engine(self):
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        fired = []
+        engine.add(Trigger(name="t", action=fired.append))
+        engine.close()
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert fired == []

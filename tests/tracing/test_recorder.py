@@ -1,0 +1,108 @@
+"""Tests for the trace recorder and granularity control."""
+
+from repro.ids import GlobalPid
+from repro.tracing import Granularity, TraceEventType, TraceRecorder
+from repro.tracing.events import admitted
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_record_and_select():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    recorder.record(TraceEventType.FORK, host="a",
+                    gpid=GlobalPid("a", 5), parent=1)
+    clock.now = 10.0
+    recorder.record(TraceEventType.EXIT, host="a", gpid=GlobalPid("a", 5))
+    recorder.record(TraceEventType.EXIT, host="b", gpid=GlobalPid("b", 9))
+    assert len(recorder) == 3
+    assert recorder.count(TraceEventType.EXIT) == 2
+    assert len(recorder.select(host="a")) == 2
+    assert len(recorder.select(gpid=GlobalPid("a", 5))) == 2
+    assert len(recorder.select(TraceEventType.EXIT, host="b")) == 1
+
+
+def test_time_window_select():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    for t in (0.0, 10.0, 20.0, 30.0):
+        clock.now = t
+        recorder.record(TraceEventType.SIGNAL, host="a")
+    assert len(recorder.select(since_ms=10.0, until_ms=20.0)) == 2
+
+
+def test_granularity_off_records_nothing():
+    recorder = TraceRecorder(Clock(), granularity=Granularity.OFF)
+    recorder.record(TraceEventType.EXIT, host="a")
+    assert len(recorder) == 0
+    assert recorder.dropped == 1
+
+
+def test_granularity_coarse_drops_communication_events():
+    recorder = TraceRecorder(Clock(), granularity=Granularity.COARSE)
+    recorder.record(TraceEventType.EXIT, host="a")        # lifecycle
+    recorder.record(TraceEventType.KERNEL_MESSAGE, host="a")  # fine only
+    recorder.record(TraceEventType.SIGNAL, host="a")      # medium
+    assert recorder.count(TraceEventType.EXIT) == 1
+    assert recorder.count(TraceEventType.KERNEL_MESSAGE) == 0
+    assert recorder.count(TraceEventType.SIGNAL) == 0
+
+
+def test_granularity_medium_admits_control_events():
+    recorder = TraceRecorder(Clock(), granularity=Granularity.MEDIUM)
+    recorder.record(TraceEventType.SIGNAL, host="a")
+    recorder.record(TraceEventType.BROADCAST_SENT, host="a")
+    assert recorder.count(TraceEventType.SIGNAL) == 1
+    assert recorder.count(TraceEventType.BROADCAST_SENT) == 0
+
+
+def test_granularity_ordering_is_monotone():
+    # Every event admitted at a coarser level is admitted at finer ones.
+    levels = [Granularity.OFF, Granularity.COARSE, Granularity.MEDIUM,
+              Granularity.FINE]
+    for event_type in TraceEventType:
+        admitted_at = [admitted(event_type, level) for level in levels]
+        # once admitted, stays admitted
+        for earlier, later in zip(admitted_at, admitted_at[1:]):
+            assert later or not earlier
+
+
+def test_set_granularity_changes_future_recording():
+    recorder = TraceRecorder(Clock(), granularity=Granularity.FINE)
+    recorder.record(TraceEventType.KERNEL_MESSAGE, host="a")
+    recorder.set_granularity(Granularity.COARSE)
+    recorder.record(TraceEventType.KERNEL_MESSAGE, host="a")
+    assert recorder.count(TraceEventType.KERNEL_MESSAGE) == 1
+
+
+def test_capacity_ring():
+    recorder = TraceRecorder(Clock(), capacity=3)
+    for i in range(5):
+        recorder.record(TraceEventType.EXIT, host="h%d" % i)
+    assert len(recorder) == 3
+    assert recorder.events[0].host == "h2"
+
+
+def test_subscribers_receive_admitted_events_only():
+    recorder = TraceRecorder(Clock(), granularity=Granularity.COARSE)
+    seen = []
+    recorder.subscribe(seen.append)
+    recorder.record(TraceEventType.EXIT, host="a")
+    recorder.record(TraceEventType.KERNEL_MESSAGE, host="a")
+    assert len(seen) == 1
+    recorder.unsubscribe(seen.append)
+    recorder.record(TraceEventType.EXIT, host="a")
+    assert len(seen) == 1
+
+
+def test_clear():
+    recorder = TraceRecorder(Clock())
+    recorder.record(TraceEventType.EXIT, host="a")
+    recorder.clear()
+    assert len(recorder) == 0

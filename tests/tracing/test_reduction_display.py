@@ -1,0 +1,153 @@
+"""Tests for the data-reduction functions and text renderers."""
+
+from repro.core.snapshot import ProcessRecord, SnapshotForest
+from repro.ids import GlobalPid
+from repro.tracing import TraceEventType, TraceRecorder
+from repro.tracing.display import (
+    render_creation_steps,
+    render_endpoints,
+    render_forest,
+    render_timeline,
+    render_topology,
+)
+from repro.tracing.reduction import (
+    busiest_hosts,
+    event_counts,
+    message_rate,
+    per_command_usage,
+    process_lifetimes,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def events_fixture():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    g1, g2 = GlobalPid("a", 1), GlobalPid("b", 2)
+    recorder.record(TraceEventType.FORK, host="a", gpid=g1)
+    clock.now = 100.0
+    recorder.record(TraceEventType.FORK, host="b", gpid=g2)
+    clock.now = 150.0
+    recorder.record(TraceEventType.KERNEL_MESSAGE, host="a", gpid=g1)
+    clock.now = 200.0
+    recorder.record(TraceEventType.EXIT, host="a", gpid=g1)
+    return recorder.events, g1, g2
+
+
+def test_event_counts():
+    events, _g1, _g2 = events_fixture()
+    counts = event_counts(events)
+    assert counts["fork"] == 2
+    assert counts["exit"] == 1
+
+
+def test_process_lifetimes():
+    events, g1, g2 = events_fixture()
+    lifetimes = process_lifetimes(events)
+    assert lifetimes[g1] == (0.0, 200.0)
+    assert lifetimes[g2] == (100.0, None)
+
+
+def test_message_rate_buckets():
+    events, _g1, _g2 = events_fixture()
+    rate = message_rate(events, bucket_ms=100.0)
+    assert rate == [(100.0, 1)]
+
+
+def test_busiest_hosts():
+    events, _g1, _g2 = events_fixture()
+    assert busiest_hosts(events)[0][0] == "a"
+
+
+def test_per_command_usage():
+    class R:
+        def __init__(self, command, rusage):
+            self.command = command
+            self.rusage = rusage
+
+    usage = per_command_usage([
+        R("cc", {"utime_ms": 10.0, "forks": 1}),
+        R("cc", {"utime_ms": 20.0}),
+        R("ld", {"utime_ms": 5.0, "signals": 2}),
+    ])
+    assert usage["cc"]["count"] == 2
+    assert usage["cc"]["utime_ms"] == 30.0
+    assert usage["ld"]["signals"] == 2
+
+
+def make_forest():
+    root = ProcessRecord(gpid=GlobalPid("a", 1), parent=None, user="u",
+                         command="master", state="exited", start_ms=0.0)
+    child = ProcessRecord(gpid=GlobalPid("b", 2),
+                          parent=GlobalPid("a", 1), user="u",
+                          command="slave", state="stopped", start_ms=1.0)
+    return SnapshotForest(500.0, records=[root, child])
+
+
+def test_render_forest_marks_states():
+    text = render_forest(make_forest())
+    assert "master (exited)" in text
+    assert "slave (stopped)" in text
+    assert "<a,1>" in text
+    assert "<b,2>" in text
+
+
+def test_render_forest_empty():
+    text = render_forest(SnapshotForest(0.0))
+    assert "no processes" in text
+
+
+def test_render_forest_missing_hosts():
+    forest = SnapshotForest(0.0, missing_hosts={"gone"})
+    assert "gone" in render_forest(forest)
+
+
+def test_render_topology():
+    text = render_topology("Figure 3", ["a", "b", "c"],
+                           [("a", "b"), ("b", "c")])
+    assert "a" in text and "(none)" not in text.splitlines()[1]
+    lines = {line.split()[0]: line for line in text.splitlines()[1:]}
+    assert "b" in lines["a"]
+    assert "a, c" in lines["b"]
+
+
+def test_render_endpoints():
+    text = render_endpoints({
+        "user": "lfc", "host": "alpha",
+        "kernel_socket": "kernel(uid=1001)",
+        "accept_socket": "lpm:lfc:abc",
+        "sibling_sockets": ["beta"],
+        "tool_sockets": ["tool#1", "tool#2"],
+    })
+    assert "kernel socket" in text
+    assert "accept socket" in text
+    assert "sibling sockets (1)" in text
+    assert "tool sockets (2)" in text
+
+
+def test_render_creation_steps_ordered():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    for step, actor in [(1, "inetd"), (2, "inetd"), (3, "pmd"), (4, "pmd")]:
+        clock.now += 10.0
+        recorder.record(TraceEventType.CREATION_STEP, host="a",
+                        step=step, actor=actor, detail="step %d" % step)
+    text = render_creation_steps(recorder.events)
+    positions = [text.index("(%d)" % step) for step in (1, 2, 3, 4)]
+    assert positions == sorted(positions)
+
+
+def test_render_timeline_limits():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    for _i in range(100):
+        recorder.record(TraceEventType.EXIT, host="a")
+    text = render_timeline(recorder.events, limit=10)
+    assert "10 of 100" in text

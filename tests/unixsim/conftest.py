@@ -1,0 +1,23 @@
+"""Shared fixtures for the unixsim tests."""
+
+import pytest
+
+from repro.netsim import HostClass
+from repro.unixsim import World
+
+
+@pytest.fixture
+def world():
+    w = World(seed=42)
+    w.add_host("alpha", HostClass.VAX_780)
+    w.add_host("beta", HostClass.VAX_750)
+    w.add_host("gamma", HostClass.SUN_2)
+    w.ethernet()
+    w.add_user("lfc", 1001)
+    w.add_user("ramon", 1002)
+    return w
+
+
+@pytest.fixture
+def alpha(world):
+    return world.host("alpha")

@@ -1,0 +1,155 @@
+"""Tests for inetd and the process manager daemon (Figure 2's protocol)."""
+
+import pytest
+
+from repro.netsim import StreamConnection
+from repro.tracing import TraceEventType
+from repro.unixsim import ProcState
+from repro.unixsim.inetd import INETD_SERVICE
+
+
+class FakeLpm:
+    """Stands in for the core LPM when testing the daemons alone."""
+
+    counter = 0
+
+    def __init__(self, host, user, token):
+        FakeLpm.counter += 1
+        self.proc = host.kernel.spawn(host.uid_of(user), "lpm",
+                                      state=ProcState.SLEEPING)
+        self.accept_service = "lpm:%s:%d" % (user, FakeLpm.counter)
+        self.token = token
+        host.node.listen(self.accept_service, lambda ep, payload: None)
+
+
+@pytest.fixture
+def ppm_world(world):
+    world.lpm_factory = FakeLpm
+    return world
+
+
+def bootstrap(world, src, dst, user, origin_user=None):
+    """Run the Figure-2 protocol; returns the reply dict."""
+    replies = []
+
+    def on_established(endpoint):
+        endpoint.on_message = lambda payload, ep: replies.append(payload)
+
+    StreamConnection.connect(
+        world.network, src, dst, INETD_SERVICE,
+        payload={"service": "ppm", "user": user,
+                 "origin_host": src,
+                 "origin_user": origin_user or user},
+        on_established=on_established)
+    world.run_until_true(lambda: bool(replies), timeout_ms=60_000.0)
+    assert replies, "no reply from inetd"
+    return replies[0]
+
+
+def test_lpm_created_ab_initio(ppm_world, alpha):
+    reply = bootstrap(ppm_world, "alpha", "alpha", "lfc")
+    assert reply["ok"]
+    assert reply["created"]
+    assert reply["accept_service"].startswith("lpm:lfc")
+    assert reply["token"]
+    assert alpha.pmd_daemon is not None
+
+
+def test_second_request_returns_existing_lpm(ppm_world, alpha):
+    first = bootstrap(ppm_world, "alpha", "alpha", "lfc")
+    second = bootstrap(ppm_world, "alpha", "alpha", "lfc")
+    assert not second["created"]
+    assert second["accept_service"] == first["accept_service"]
+    assert second["token"] == first["token"]
+    assert alpha.pmd_daemon.creations == 1
+
+
+def test_creation_steps_traced(ppm_world, alpha):
+    bootstrap(ppm_world, "alpha", "alpha", "lfc")
+    steps = [e.details["step"] for e in ppm_world.recorder.select(
+        TraceEventType.CREATION_STEP, host="alpha")]
+    assert steps == [1, 2, 3, 4]
+
+
+def test_remote_request_with_consistent_accounts(ppm_world):
+    # lfc exists on both hosts with the same uid/password: allowed.
+    reply = bootstrap(ppm_world, "beta", "alpha", "lfc")
+    assert reply["ok"]
+
+
+def test_unknown_user_rejected(ppm_world):
+    reply = bootstrap(ppm_world, "alpha", "alpha", "mallory")
+    assert not reply["ok"]
+    assert "account" in reply["error"]
+
+
+def test_masquerade_rejected_without_rhosts(ppm_world):
+    # ramon@beta asks for lfc's LPM on alpha: user-level masquerade.
+    reply = bootstrap(ppm_world, "beta", "alpha", "lfc",
+                      origin_user="ramon")
+    assert not reply["ok"]
+
+
+def test_rhosts_grants_cross_user_access(ppm_world, alpha):
+    alpha.fs.write_rhosts("lfc", ["beta ramon"])
+    reply = bootstrap(ppm_world, "beta", "alpha", "lfc",
+                      origin_user="ramon")
+    assert reply["ok"]
+
+
+def test_unknown_service_rejected(ppm_world):
+    replies = []
+
+    def on_established(endpoint):
+        endpoint.on_message = lambda payload, ep: replies.append(payload)
+
+    StreamConnection.connect(
+        ppm_world.network, "alpha", "alpha", INETD_SERVICE,
+        payload={"service": "finger", "user": "lfc"},
+        on_established=on_established)
+    ppm_world.run_until_true(lambda: bool(replies), timeout_ms=60_000.0)
+    assert not replies[0]["ok"]
+
+
+def test_pmd_persists_while_lpm_alive(ppm_world, alpha):
+    bootstrap(ppm_world, "alpha", "alpha", "lfc")
+    pmd_proc = alpha.pmd_daemon.proc
+    assert pmd_proc.alive
+    ppm_world.run_for(100_000.0)
+    assert pmd_proc.alive
+
+
+class TestPmdCrash:
+    def test_crash_without_stable_storage_forgets_lpms(self, ppm_world,
+                                                       alpha):
+        first = bootstrap(ppm_world, "alpha", "alpha", "lfc")
+        alpha.pmd_daemon.crash()
+        # The paper: "the process management mechanism does not operate
+        # correctly" — a second LPM is created for the same user.
+        second = bootstrap(ppm_world, "alpha", "alpha", "lfc")
+        assert second["created"]
+        assert second["accept_service"] != first["accept_service"]
+
+    def test_crash_with_stable_storage_recovers(self, world):
+        from repro.config import PPMConfig
+        from repro.netsim import HostClass
+        from repro.unixsim import World
+        w = World(seed=1, config=PPMConfig(pmd_stable_storage=True))
+        w.add_host("alpha", HostClass.VAX_780)
+        w.ethernet()
+        w.add_user("lfc", 1001)
+        w.lpm_factory = FakeLpm
+        first = bootstrap(w, "alpha", "alpha", "lfc")
+        w.host("alpha").pmd_daemon.crash()
+        second = bootstrap(w, "alpha", "alpha", "lfc")
+        assert not second["created"]
+        assert second["accept_service"] == first["accept_service"]
+
+
+def test_lpm_exit_frees_registry(ppm_world, alpha):
+    reply = bootstrap(ppm_world, "alpha", "alpha", "lfc")
+    record = alpha.pmd_daemon.record_for("lfc")
+    alpha.kernel.exit(record.pid)
+    assert not alpha.pmd_daemon.knows("lfc")
+    again = bootstrap(ppm_world, "alpha", "alpha", "lfc")
+    assert again["created"]

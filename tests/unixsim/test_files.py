@@ -1,0 +1,116 @@
+"""Tests for the kernel's file-descriptor support (the substrate for
+section 7's files and descriptor tools)."""
+
+import pytest
+
+from repro.errors import NoSuchProcessError
+from repro.unixsim import FileWorkerProgram, KernelEvent, Signal, TraceFlag
+from repro.unixsim.process import CLOSED_FILE_HISTORY_LIMIT
+
+
+@pytest.fixture
+def kernel(alpha):
+    return alpha.kernel
+
+
+def test_open_allocates_increasing_fds(kernel):
+    proc = kernel.spawn(1001, "job")
+    fd1 = kernel.open_file(proc.pid, "/tmp/a")
+    fd2 = kernel.open_file(proc.pid, "/tmp/b", mode="w")
+    assert fd2 > fd1 >= 3  # 0-2 reserved
+    assert proc.fd_table[fd1].path == "/tmp/a"
+    assert proc.fd_table[fd2].mode == "w"
+
+
+def test_close_moves_to_history(kernel, world):
+    proc = kernel.spawn(1001, "job")
+    fd = kernel.open_file(proc.pid, "/tmp/a")
+    world.run_for(100.0)
+    kernel.close_file(proc.pid, fd)
+    assert fd not in proc.fd_table
+    (closed,) = proc.closed_files
+    assert closed.path == "/tmp/a"
+    assert closed.closed_ms > closed.opened_ms
+
+
+def test_close_unknown_fd_rejected(kernel):
+    proc = kernel.spawn(1001, "job")
+    with pytest.raises(NoSuchProcessError):
+        kernel.close_file(proc.pid, 99)
+
+
+def test_dup_shares_path(kernel):
+    proc = kernel.spawn(1001, "job")
+    fd = kernel.open_file(proc.pid, "/tmp/a")
+    fd2 = kernel.dup_file(proc.pid, fd)
+    assert fd2 != fd
+    assert proc.fd_table[fd2].path == "/tmp/a"
+    with pytest.raises(NoSuchProcessError):
+        kernel.dup_file(proc.pid, 1234)
+
+
+def test_exit_closes_everything(kernel):
+    proc = kernel.spawn(1001, "job")
+    kernel.open_file(proc.pid, "/tmp/a")
+    kernel.open_file(proc.pid, "/tmp/b")
+    kernel.exit(proc.pid)
+    assert not proc.fd_table
+    assert {entry.path for entry in proc.closed_files} == {"/tmp/a",
+                                                           "/tmp/b"}
+
+
+def test_closed_history_bounded(kernel):
+    proc = kernel.spawn(1001, "job")
+    for index in range(CLOSED_FILE_HISTORY_LIMIT + 10):
+        fd = kernel.open_file(proc.pid, "/tmp/f%d" % index)
+        kernel.close_file(proc.pid, fd)
+    assert len(proc.closed_files) == CLOSED_FILE_HISTORY_LIMIT
+    assert proc.closed_files[0].path == "/tmp/f10"
+
+
+def test_file_events_posted_when_traced(kernel, world):
+    received = []
+    kernel.register_lpm(1001, received.append)
+    proc = kernel.spawn(1001, "job")
+    kernel.adopt(1001, proc.pid, TraceFlag.FILES)
+    fd = kernel.open_file(proc.pid, "/tmp/a")
+    kernel.close_file(proc.pid, fd)
+    world.run_for(200.0)
+    events = [m.event for m in received]
+    assert events == [KernelEvent.FILE_OPENED, KernelEvent.FILE_CLOSED]
+    assert received[0].details["path"] == "/tmp/a"
+
+
+def test_file_events_suppressed_without_flag(kernel, world):
+    received = []
+    kernel.register_lpm(1001, received.append)
+    proc = kernel.spawn(1001, "job")
+    kernel.adopt(1001, proc.pid, TraceFlag.EXIT)  # no FILES bit
+    kernel.open_file(proc.pid, "/tmp/a")
+    world.run_for(200.0)
+    assert received == []
+
+
+def test_file_worker_program_lifecycle(world, alpha):
+    program = FileWorkerProgram(
+        1_000.0, files=["/data/in", "/data/out"],
+        close_after_ms=[("/data/in", 300.0)])
+    proc = alpha.spawn_user_process("lfc", "fjob", program=program)
+    assert {e.path for e in proc.fd_table.values()} == {"/data/in",
+                                                        "/data/out"}
+    world.run_for(500.0)
+    assert {e.path for e in proc.fd_table.values()} == {"/data/out"}
+    world.run_for(1_000.0)  # program exits; kernel closes the rest
+    assert not proc.alive
+    assert {e.path for e in proc.closed_files} == {"/data/in",
+                                                   "/data/out"}
+
+
+def test_file_worker_kill_cancels_close_timers(world, alpha):
+    program = FileWorkerProgram(
+        10_000.0, files=["/data/in"],
+        close_after_ms=[("/data/in", 5_000.0)])
+    proc = alpha.spawn_user_process("lfc", "fjob", program=program)
+    alpha.kernel.kill(proc.pid, Signal.SIGKILL, sender_uid=1001)
+    world.run_for(10_000.0)  # the close timer must not touch a corpse
+    assert not proc.alive

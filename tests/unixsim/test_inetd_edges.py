@@ -1,0 +1,60 @@
+"""Edge cases for inetd request handling."""
+
+import pytest
+
+from repro.netsim import StreamConnection
+from repro.unixsim.inetd import INETD_SERVICE
+
+
+def ask(world, payload):
+    replies = []
+
+    def established(endpoint):
+        endpoint.on_message = lambda data, ep: replies.append(data)
+
+    StreamConnection.connect(world.network, "alpha", "alpha",
+                             INETD_SERVICE, payload=payload,
+                             on_established=established)
+    world.run_for(30_000.0)
+    return replies
+
+
+def test_non_dict_request_rejected(world):
+    replies = ask(world, "GET / HTTP/1.0")
+    assert replies and not replies[0]["ok"]
+    assert "bad request" in replies[0]["error"]
+
+
+def test_missing_service_field_rejected(world):
+    replies = ask(world, {"user": "lfc"})
+    assert replies and not replies[0]["ok"]
+
+
+def test_request_counter_increments(world):
+    inetd = world.host("alpha").inetd
+    before = inetd.requests_served
+    ask(world, {"service": "ppm", "user": "lfc",
+                "origin_host": "alpha", "origin_user": "lfc"})
+    assert inetd.requests_served == before + 1
+
+
+def test_inetd_survives_requests_during_light_load(world, alpha):
+    # Two concurrent bootstrap requests for the same user yield one LPM.
+    from repro import install
+    install(world)
+    results = []
+    for _ in range(2):
+        def established(endpoint):
+            endpoint.on_message = lambda data, ep: results.append(data)
+
+        StreamConnection.connect(
+            world.network, "alpha", "alpha", INETD_SERVICE,
+            payload={"service": "ppm", "user": "lfc",
+                     "origin_host": "alpha", "origin_user": "lfc"},
+            on_established=established)
+    world.run_for(60_000.0)
+    assert len(results) == 2
+    assert all(reply["ok"] for reply in results)
+    services = {reply["accept_service"] for reply in results}
+    assert len(services) == 1  # the race resolved to one LPM
+    assert alpha.pmd_daemon.creations == 1

@@ -1,0 +1,70 @@
+"""Tests for the run-queue load average (Table 1's ``la`` estimator)."""
+
+import pytest
+
+from repro.unixsim import SleeperProgram, SpinnerProgram
+
+
+def test_idle_host_has_near_zero_load(world, alpha):
+    world.run_for(60_000.0)
+    assert alpha.load_average() < 0.05
+
+
+def test_one_spinner_converges_to_one(world, alpha):
+    alpha.spawn_user_process("lfc", "spin", program=SpinnerProgram(None))
+    world.run_for(600_000.0)  # 10 tau
+    assert alpha.load_average() == pytest.approx(1.0, abs=0.01)
+
+
+def test_three_spinners_converge_to_three(world, alpha):
+    for _ in range(3):
+        alpha.spawn_user_process("lfc", "spin", program=SpinnerProgram(None))
+    world.run_for(600_000.0)
+    assert alpha.load_average() == pytest.approx(3.0, abs=0.05)
+
+
+def test_sleepers_do_not_count(world, alpha):
+    for _ in range(5):
+        alpha.spawn_user_process("lfc", "sleep",
+                                 program=SleeperProgram(None))
+    world.run_for(600_000.0)
+    assert alpha.load_average() < 0.05
+
+
+def test_load_decays_after_exit(world, alpha):
+    alpha.spawn_user_process("lfc", "spin",
+                             program=SpinnerProgram(300_000.0))
+    world.run_for(300_000.0)
+    peak = alpha.load_average()
+    world.run_for(300_000.0)
+    assert alpha.load_average() < peak / 2
+
+
+def test_load_rises_monotonically_toward_count(world, alpha):
+    alpha.spawn_user_process("lfc", "spin", program=SpinnerProgram(None))
+    previous = 0.0
+    for _ in range(10):
+        world.run_for(30_000.0)
+        current = alpha.load_average()
+        assert current >= previous
+        assert current <= 1.0 + 1e-9
+        previous = current
+
+
+def test_stopped_processes_leave_run_queue(world, alpha):
+    from repro.unixsim import Signal
+    proc = alpha.spawn_user_process("lfc", "spin",
+                                    program=SpinnerProgram(None))
+    world.run_for(600_000.0)
+    assert alpha.load_average() > 0.9
+    alpha.kernel.kill(proc.pid, Signal.SIGSTOP, sender_uid=1001)
+    world.run_for(600_000.0)
+    assert alpha.load_average() < 0.05
+
+
+def test_force_pins_value(world, alpha):
+    alpha.kernel.loadavg.force(2.5)
+    assert alpha.load_average() == pytest.approx(2.5)
+    # Decays back toward the true runnable count afterwards.
+    world.run_for(600_000.0)
+    assert alpha.load_average() < 0.1

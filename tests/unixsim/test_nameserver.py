@@ -1,0 +1,86 @@
+"""Unit tests for the CCS name server daemon."""
+
+import pytest
+
+from repro.netsim import StreamConnection
+from repro.unixsim.nameserver import NAME_SERVICE
+
+
+@pytest.fixture
+def server(world, alpha):
+    ns = world.install_name_server("alpha")
+    ns.administer("lfc", ["h-one", "h-two", "h-three"])
+    return ns
+
+
+def call(world, src, payload):
+    replies = []
+
+    def established(endpoint):
+        endpoint.on_message = lambda data, ep: replies.append(data)
+
+    StreamConnection.connect(world.network, src, "alpha", NAME_SERVICE,
+                             payload=payload,
+                             on_established=established)
+    world.run_until_true(lambda: bool(replies), timeout_ms=30_000.0)
+    return replies[0]
+
+
+def test_query_returns_top_assignment(world, server):
+    reply = call(world, "beta", {"op": "query", "user": "lfc"})
+    assert reply == {"ok": True, "ccs_host": "h-one"}
+    assert server.queries == 1
+
+
+def test_unknown_user_returns_none(world, server):
+    reply = call(world, "beta", {"op": "query", "user": "nobody"})
+    assert reply["ccs_host"] is None
+
+
+def test_report_down_advances(world, server):
+    reply = call(world, "beta", {"op": "report_down", "user": "lfc",
+                                 "host": "h-one"})
+    assert reply["ccs_host"] == "h-two"
+    # Reporting a non-current host changes nothing.
+    reply = call(world, "beta", {"op": "report_down", "user": "lfc",
+                                 "host": "h-one"})
+    assert reply["ccs_host"] == "h-two"
+
+
+def test_assignment_wraps_around(world, server):
+    for expected in ("h-two", "h-three", "h-one"):
+        reply = call(world, "beta",
+                     {"op": "report_down", "user": "lfc",
+                      "host": server.current_ccs("lfc")})
+        assert reply["ccs_host"] == expected
+
+
+def test_register_climbs_only_upward(world, server):
+    call(world, "beta", {"op": "report_down", "user": "lfc",
+                         "host": "h-one"})
+    call(world, "beta", {"op": "report_down", "user": "lfc",
+                         "host": "h-two"})
+    assert server.current_ccs("lfc") == "h-three"
+    # Registering a lower-priority (or unknown) host does nothing.
+    call(world, "beta", {"op": "register", "user": "lfc",
+                         "host": "h-three"})
+    call(world, "beta", {"op": "register", "user": "lfc",
+                         "host": "elsewhere"})
+    assert server.current_ccs("lfc") == "h-three"
+    # Registering a higher one climbs.
+    reply = call(world, "beta", {"op": "register", "user": "lfc",
+                                 "host": "h-two"})
+    assert reply["ccs_host"] == "h-two"
+    reply = call(world, "beta", {"op": "register", "user": "lfc",
+                                 "host": "h-one"})
+    assert reply["ccs_host"] == "h-one"
+
+
+def test_bad_op_rejected(world, server):
+    reply = call(world, "beta", {"op": "frobnicate", "user": "lfc"})
+    assert not reply["ok"]
+
+
+def test_daemon_is_a_process(world, server):
+    assert server.proc.command == "ccsnsd"
+    assert server.proc.alive

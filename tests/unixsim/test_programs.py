@@ -1,0 +1,115 @@
+"""Tests for the simulated workload programs."""
+
+import pytest
+
+from repro.unixsim import (
+    ForkTreeProgram,
+    ProcState,
+    Signal,
+    SleeperProgram,
+    SpinnerProgram,
+    WorkerProgram,
+)
+
+
+def test_spinner_runs_then_exits(world, alpha):
+    proc = alpha.spawn_user_process("lfc", "spin",
+                                    program=SpinnerProgram(1_000.0))
+    assert proc.state is ProcState.RUNNING
+    world.run_for(999.0)
+    assert proc.alive
+    world.run_for(2.0)
+    assert not proc.alive
+    assert proc.exit_status == 0
+
+
+def test_worker_exit_status(world, alpha):
+    proc = alpha.spawn_user_process(
+        "lfc", "worker", program=WorkerProgram(500.0, exit_status=4))
+    world.run_for(1_000.0)
+    assert proc.exit_status == 4
+
+
+def test_sleeper_sleeps(world, alpha):
+    proc = alpha.spawn_user_process("lfc", "sleep",
+                                    program=SleeperProgram(1_000.0))
+    assert proc.state is ProcState.SLEEPING
+    world.run_for(2_000.0)
+    assert not proc.alive
+
+
+def test_infinite_spinner_never_exits(world, alpha):
+    proc = alpha.spawn_user_process("lfc", "spin",
+                                    program=SpinnerProgram(None))
+    world.run_for(1_000_000.0)
+    assert proc.alive
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        SpinnerProgram(-5.0)
+
+
+def test_stop_freezes_remaining_time(world, alpha):
+    proc = alpha.spawn_user_process("lfc", "spin",
+                                    program=SpinnerProgram(1_000.0))
+    world.run_for(600.0)
+    alpha.kernel.kill(proc.pid, Signal.SIGSTOP, sender_uid=1001)
+    world.run_for(10_000.0)  # stopped: timer frozen
+    assert proc.alive
+    alpha.kernel.kill(proc.pid, Signal.SIGCONT, sender_uid=1001)
+    world.run_for(399.0)
+    assert proc.alive
+    world.run_for(2.0)
+    assert not proc.alive
+
+
+def test_kill_cancels_timer(world, alpha):
+    proc = alpha.spawn_user_process("lfc", "spin",
+                                    program=SpinnerProgram(1_000.0))
+    alpha.kernel.kill(proc.pid, Signal.SIGKILL, sender_uid=1001)
+    world.run_for(5_000.0)  # the program timer must not resurrect anything
+    assert proc.term_signal == int(Signal.SIGKILL)
+
+
+def test_fork_tree_builds_genealogy(world, alpha):
+    program = ForkTreeProgram(
+        children=[
+            ("child-a", 100.0, SpinnerProgram(None)),
+            ("child-b", 200.0, ForkTreeProgram(
+                children=[("grandchild", 100.0, SpinnerProgram(None))])),
+        ])
+    root = alpha.spawn_user_process("lfc", "root", program=program)
+    world.run_for(1_000.0)
+    children = alpha.kernel.procs.children_of(root.pid)
+    assert sorted(c.command for c in children) == ["child-a", "child-b"]
+    child_b = next(c for c in children if c.command == "child-b")
+    grandchildren = alpha.kernel.procs.children_of(child_b.pid)
+    assert [g.command for g in grandchildren] == ["grandchild"]
+
+
+def test_fork_tree_stops_spawning_after_exit(world, alpha):
+    program = ForkTreeProgram(
+        children=[("late-child", 5_000.0, SpinnerProgram(None))],
+        duration_ms=1_000.0)
+    root = alpha.spawn_user_process("lfc", "root", program=program)
+    world.run_for(10_000.0)
+    assert not root.alive
+    # The child scheduled for t=5000 must never have been spawned.
+    assert all(p.command != "late-child" for p in alpha.kernel.procs)
+
+
+def test_host_crash_cancels_program_timers(world, alpha):
+    alpha.spawn_user_process("lfc", "spin", program=SpinnerProgram(1_000.0))
+    alpha.crash()
+    world.run_for(10_000.0)  # timer fires harmlessly
+
+
+def test_fork_tree_children_inherit_background(world, alpha):
+    program = ForkTreeProgram(
+        children=[("child", 10.0, SpinnerProgram(None))])
+    root = alpha.spawn_user_process("lfc", "root", program=program,
+                                    foreground=False)
+    world.run_for(100.0)
+    child = alpha.kernel.procs.children_of(root.pid)[0]
+    assert not child.foreground

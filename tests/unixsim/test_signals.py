@@ -1,0 +1,31 @@
+"""Tests for signal numbering and default actions."""
+
+from repro.unixsim import Signal, SignalAction, default_action
+from repro.unixsim.signals import UNCATCHABLE
+
+
+def test_bsd_numbering():
+    assert Signal.SIGKILL == 9
+    assert Signal.SIGTERM == 15
+    assert Signal.SIGSTOP == 17
+    assert Signal.SIGCONT == 19
+
+
+def test_default_actions():
+    assert default_action(Signal.SIGKILL) is SignalAction.TERMINATE
+    assert default_action(Signal.SIGTERM) is SignalAction.TERMINATE
+    assert default_action(Signal.SIGSTOP) is SignalAction.STOP
+    assert default_action(Signal.SIGTSTP) is SignalAction.STOP
+    assert default_action(Signal.SIGCONT) is SignalAction.CONTINUE
+    assert default_action(Signal.SIGCHLD) is SignalAction.IGNORE
+
+
+def test_every_signal_has_an_action():
+    for signal in Signal:
+        assert default_action(signal) is not None
+
+
+def test_kill_and_stop_are_uncatchable():
+    assert Signal.SIGKILL in UNCATCHABLE
+    assert Signal.SIGSTOP in UNCATCHABLE
+    assert Signal.SIGTERM not in UNCATCHABLE

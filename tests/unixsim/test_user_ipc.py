@@ -1,0 +1,128 @@
+"""Tests for user-level IPC (4.3BSD sockets between arbitrary
+processes) and the talker/echo workload programs."""
+
+import pytest
+
+from repro.errors import NoSuchProcessError
+from repro.ids import GlobalPid
+from repro.tracing import TraceEventType
+from repro.tracing.ipc import render_user_ipc, user_ipc_matrix
+from repro.unixsim import EchoProgram, TalkerProgram
+
+
+def gpid_of(host, proc):
+    return GlobalPid(host.name, proc.pid)
+
+
+def start_echo(world, host_name="alpha", user="lfc"):
+    host = world.host(host_name)
+    program = EchoProgram(None)
+    proc = host.spawn_user_process(user, "echo-server", program=program)
+    return gpid_of(host, proc), program, proc
+
+
+def test_cross_host_conversation(world):
+    server_gpid, server_prog, _server = start_echo(world, "alpha")
+    beta = world.host("beta")
+    talker_prog = TalkerProgram(server_gpid, interval_ms=100.0, count=5)
+    beta.spawn_user_process("lfc", "talker", program=talker_prog)
+    world.run_for(5_000.0)
+    assert server_prog.messages_echoed == 5
+    assert talker_prog.replies_seen == 5
+
+
+def test_no_common_ancestor_and_different_users(world):
+    # ramon's process talks to lfc's: IPC needs no shared ancestry and
+    # no shared uid (section 1).
+    server_gpid, server_prog, server = start_echo(world, "alpha",
+                                                  user="lfc")
+    gamma = world.host("gamma")
+    talker_prog = TalkerProgram(server_gpid, interval_ms=50.0, count=3)
+    talker = gamma.spawn_user_process("ramon", "talker",
+                                      program=talker_prog)
+    world.run_for(3_000.0)
+    assert server_prog.messages_echoed == 3
+    assert server.uid != talker.uid
+
+
+def test_same_host_loopback(world):
+    server_gpid, server_prog, _server = start_echo(world, "alpha")
+    alpha = world.host("alpha")
+    talker_prog = TalkerProgram(server_gpid, interval_ms=10.0, count=4)
+    alpha.spawn_user_process("lfc", "talker", program=talker_prog)
+    world.run_for(2_000.0)
+    assert server_prog.messages_echoed == 4
+
+
+def test_messages_counted_in_rusage(world):
+    server_gpid, _server_prog, server = start_echo(world, "alpha")
+    beta = world.host("beta")
+    talker_prog = TalkerProgram(server_gpid, interval_ms=50.0, count=6)
+    talker = beta.spawn_user_process("lfc", "talker",
+                                     program=talker_prog)
+    world.run_for(3_000.0)
+    assert talker.rusage.messages_sent == 6
+    assert server.rusage.messages_sent == 6  # the echoes
+
+
+def test_user_ipc_traced_and_analysed(world):
+    server_gpid, _sp, _server = start_echo(world, "alpha")
+    beta = world.host("beta")
+    talker_prog = TalkerProgram(server_gpid, interval_ms=50.0, count=3)
+    talker = beta.spawn_user_process("lfc", "talker",
+                                     program=talker_prog)
+    world.run_for(3_000.0)
+    events = world.recorder.select(TraceEventType.USER_IPC)
+    assert events
+    matrix = user_ipc_matrix(world.recorder.events)
+    talker_gpid = GlobalPid("beta", talker.pid)
+    assert matrix[(str(talker_gpid), str(server_gpid))]["messages"] == 3
+    assert matrix[(str(server_gpid), str(talker_gpid))]["messages"] == 3
+    text = render_user_ipc(world.recorder.events)
+    assert str(server_gpid) in text
+    assert "no user-process IPC" in render_user_ipc([])
+
+
+def test_connect_to_non_listening_process_fails(world):
+    beta = world.host("beta")
+    target = world.host("alpha").spawn_user_process("lfc", "mute")
+    results = []
+    world.ipc.connect(GlobalPid("beta", 999),
+                      GlobalPid("alpha", target.pid)).then(results.append)
+    world.run_for(10_000.0)
+    assert results == [None]
+
+
+def test_listen_requires_live_process(world):
+    with pytest.raises(NoSuchProcessError):
+        world.ipc.listen(GlobalPid("alpha", 4242), lambda ch: None)
+
+
+def test_server_exit_closes_channels_and_stops_accepting(world):
+    server_gpid, server_prog, server = start_echo(world, "alpha")
+    beta = world.host("beta")
+    talker_prog = TalkerProgram(server_gpid, interval_ms=100.0, count=100)
+    beta.spawn_user_process("lfc", "talker", program=talker_prog)
+    world.run_for(1_000.0)
+    world.host("alpha").kernel.exit(server.pid)
+    world.run_for(2_000.0)
+    assert talker_prog.channel is None or not talker_prog.channel.open
+    # New connections are refused.
+    results = []
+    world.ipc.connect(GlobalPid("beta", 999), server_gpid).then(
+        results.append)
+    world.run_for(10_000.0)
+    assert results == [None]
+
+
+def test_host_crash_breaks_conversation(world):
+    server_gpid, _sp, _server = start_echo(world, "alpha")
+    beta = world.host("beta")
+    talker_prog = TalkerProgram(server_gpid, interval_ms=100.0, count=100)
+    beta.spawn_user_process("lfc", "talker", program=talker_prog)
+    world.run_for(1_000.0)
+    sent_before = talker_prog._sent
+    world.host("alpha").crash()
+    world.run_for(5_000.0)
+    # The talker noticed (channel closed) and stopped making progress.
+    assert talker_prog._sent <= sent_before + 1

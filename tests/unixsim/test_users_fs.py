@@ -1,0 +1,80 @@
+"""Tests for the filesystem, accounts, and .rhosts authentication."""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.unixsim import SimFilesystem, UserAccount, UserRegistry
+from repro.unixsim.users import rhosts_permits
+
+
+class TestFilesystem:
+    def test_write_read_remove(self):
+        fs = SimFilesystem()
+        fs.write("/tmp/x", "hello")
+        assert fs.read("/tmp/x") == "hello"
+        assert fs.exists("/tmp/x")
+        fs.remove("/tmp/x")
+        assert fs.read("/tmp/x") is None
+        fs.remove("/tmp/x")  # idempotent
+
+    def test_recovery_file_roundtrip(self):
+        fs = SimFilesystem()
+        fs.write_recovery_file("lfc", ["home1", "home2", "home3"])
+        assert fs.read_recovery_file("lfc") == ["home1", "home2", "home3"]
+
+    def test_recovery_file_skips_comments_and_blanks(self):
+        fs = SimFilesystem()
+        fs.write("/usr/lfc/.recovery", "# priority list\nhome1\n\n  home2\n")
+        assert fs.read_recovery_file("lfc") == ["home1", "home2"]
+
+    def test_missing_recovery_file_is_empty(self):
+        fs = SimFilesystem()
+        assert fs.read_recovery_file("nobody") == []
+
+    def test_rhosts_roundtrip(self):
+        fs = SimFilesystem()
+        fs.write_rhosts("lfc", ["hostA", "hostB ramon"])
+        assert fs.read_rhosts("lfc") == ["hostA", "hostB ramon"]
+
+
+class TestAccounts:
+    def test_account_lookup(self):
+        reg = UserRegistry()
+        reg.add(UserAccount.create("lfc", 1001, "pw"))
+        assert reg.lookup("lfc").uid == 1001
+        assert reg.lookup("nobody") is None
+        with pytest.raises(AuthenticationError):
+            reg.require("nobody")
+
+    def test_password_check(self):
+        reg = UserRegistry()
+        reg.add(UserAccount.create("lfc", 1001, "pw"))
+        assert reg.check_password("lfc", "pw")
+        assert not reg.check_password("lfc", "wrong")
+        assert not reg.check_password("nobody", "pw")
+
+    def test_consistency_across_hosts(self):
+        a, b = UserRegistry(), UserRegistry()
+        account = UserAccount.create("lfc", 1001, "pw")
+        a.add(account)
+        b.add(account)
+        assert a.consistent_with(b, "lfc")
+        # Different uid on the other machine: inconsistent.
+        c = UserRegistry()
+        c.add(UserAccount.create("lfc", 2001, "pw"))
+        assert not a.consistent_with(c, "lfc")
+        assert not a.consistent_with(UserRegistry(), "lfc")
+
+
+class TestRhosts:
+    def test_host_only_entry_grants_same_user(self):
+        assert rhosts_permits(["hostA"], "hostA", "lfc", "lfc")
+        assert not rhosts_permits(["hostA"], "hostA", "ramon", "lfc")
+
+    def test_host_user_entry(self):
+        assert rhosts_permits(["hostA ramon"], "hostA", "ramon", "lfc")
+        assert not rhosts_permits(["hostA ramon"], "hostB", "ramon", "lfc")
+
+    def test_empty_entries_deny(self):
+        assert not rhosts_permits([], "hostA", "lfc", "lfc")
+        assert not rhosts_permits(["", "   "], "hostA", "lfc", "lfc")
