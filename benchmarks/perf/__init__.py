@@ -1,0 +1,1 @@
+"""Hot-path microbenchmarks (see ``runner.py``)."""

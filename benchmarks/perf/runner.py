@@ -1,0 +1,232 @@
+"""Hot-path microbenchmarks, writing the repo's perf trajectory.
+
+Three scenarios cover the paths every experiment in the reproduction
+runs through:
+
+``encode_throughput``
+    Message serialisation and size accounting, including hop-by-hop
+    route growth (the broadcast-forwarding pattern that re-sizes the
+    same message at every hop).
+
+``broadcast_flood``
+    One LOCATE broadcast over a full-mesh sibling graph — the
+    duplicate-suppression worst case: every LPM floods every sibling,
+    and the dedup seen-set absorbs the quadratic duplicate storm.
+
+``snapshot_40_hosts``
+    The A4 stress setup (section 8 "into the tens of nodes"): a
+    40-host star session, three snapshot gathers.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.runner [--smoke]
+        [--label before|after] [--output BENCH_core.json]
+
+Wall-clock and counter deltas are merged into ``BENCH_core.json`` at
+the repo root under the given label, so successive PRs accumulate a
+before/after trajectory.  ``--smoke`` shrinks every scenario so CI can
+assert the benchmarks still *run* without caring about timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+from repro import PPMClient, PPMConfig, install, spinner_spec
+from repro.core.messages import Message, MsgKind
+from repro.core.wire import message_size_bytes
+from repro.netsim import HostClass
+from repro.perf import PERF
+from repro.unixsim import World
+
+#: The counters each scenario reports (a subset keeps the JSON legible).
+_REPORTED = (
+    "encodes_performed", "encode_cache_hits", "size_calls",
+    "bytes_charged", "hmac_computed", "hmac_cache_hits",
+    "dedup_checks", "dedup_entries_scanned", "dedup_entries_expired",
+    "events_run", "events_cancelled", "events_fastpath",
+    "heap_compactions",
+)
+
+
+def _measure(fn):
+    """Run ``fn`` with counters reset; return (result, metrics)."""
+    PERF.reset()
+    start = time.perf_counter()
+    result = fn()
+    wall_s = time.perf_counter() - start
+    metrics = {"wall_s": round(wall_s, 4)}
+    snapshot = PERF.snapshot()
+    metrics.update({name: snapshot[name] for name in _REPORTED})
+    if isinstance(result, dict):
+        metrics.update(result)
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: encode / size throughput
+# ----------------------------------------------------------------------
+
+def bench_encode(smoke: bool = False) -> dict:
+    messages = 200 if smoke else 2_000
+    hops = 8           # siblings that re-size the same message in flight
+    payload = {"records": [{"pid": i, "command": "job-%d" % i,
+                            "state": "running", "rusage":
+                            {"utime_ms": 12.5 * i, "forks": i}}
+                           for i in range(12)]}
+
+    def run() -> dict:
+        total = 0
+        for index in range(messages):
+            message = Message(kind=MsgKind.GATHER_REPLY, req_id=index,
+                              origin="h00", user="lfc",
+                              payload=payload, route=["h00", "h01"],
+                              final_dest="h01")
+            # The origin sizes the message once, then every forwarding
+            # hop sizes it again (unchanged), then one hop extends the
+            # route (broadcast pattern) and sizes the changed message.
+            for _ in range(hops):
+                total += message_size_bytes(message)
+            message.route = message.route + ["h%02d" % (index % 40,)]
+            total += message_size_bytes(message)
+        return {"messages": messages, "sizes_per_message": hops + 1,
+                "total_bytes": total}
+
+    return _measure(run)
+
+
+# ----------------------------------------------------------------------
+# Scenario 2: broadcast flood over a full mesh
+# ----------------------------------------------------------------------
+
+def bench_broadcast_flood(smoke: bool = False) -> dict:
+    n_hosts = 4 if smoke else 12
+    config = PPMConfig(topology_policy="full_mesh")
+    world = World(seed=23, config=config)
+    names = ["h%02d" % i for i in range(n_hosts)]
+    for name in names:
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", [names[0]])
+    origin = PPMClient(world, "lfc", names[0]).connect()
+    for name in names[1:]:
+        origin.create_process("job-%s" % name, host=name,
+                              program=spinner_spec(None))
+    world.run_for(2_000.0)  # let the full mesh finish wiring itself
+
+    def run() -> dict:
+        # A LOCATE for an unknown pid floods the whole mesh and every
+        # duplicate arrival exercises the dedup engine.
+        lpm = world.lpms[(names[0], "lfc")]
+        done = []
+        lpm.locate(names[-1], 99_999, done.append)
+        world.run_until_true(lambda: bool(done), timeout_ms=30_000.0)
+        forwards = sum(world.lpms[(name, "lfc")].broadcast.forwards
+                       for name in names)
+        duplicates = sum(
+            world.lpms[(name, "lfc")].broadcast.duplicates_dropped
+            for name in names)
+        return {"n_hosts": n_hosts, "flood_forwards": forwards,
+                "duplicates_dropped": duplicates,
+                "sim_ms": round(world.sim.now_ms, 3)}
+
+    return _measure(run)
+
+
+# ----------------------------------------------------------------------
+# Scenario 3: snapshot gather at 40 hosts (the A4 setup)
+# ----------------------------------------------------------------------
+
+def bench_snapshot(smoke: bool = False) -> dict:
+    n_hosts = 6 if smoke else 40
+    rounds = 1 if smoke else 3
+    world = World(seed=17)
+    names = ["h%02d" % i for i in range(n_hosts)]
+    for name in names:
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", [names[0]])
+    origin = PPMClient(world, "lfc", names[0]).connect()
+    for name in names[1:]:
+        origin.create_process("job-%s" % name, host=name,
+                              program=spinner_spec(None))
+    origin.snapshot()  # warm-up, outside the measured window
+
+    def run() -> dict:
+        start_ms = world.sim.now_ms
+        for _ in range(rounds):
+            forest = origin.snapshot(prune=False)
+            assert len(forest) == n_hosts - 1
+        return {"n_hosts": n_hosts, "rounds": rounds,
+                "snapshot_sim_ms": round(
+                    (world.sim.now_ms - start_ms) / rounds, 3)}
+
+    return _measure(run)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+SCENARIOS = {
+    "encode_throughput": bench_encode,
+    "broadcast_flood": bench_broadcast_flood,
+    "snapshot_40_hosts": bench_snapshot,
+}
+
+
+def run_all(smoke: bool = False) -> dict:
+    results = {}
+    for name, fn in SCENARIOS.items():
+        print("running %s%s ..." % (name, " (smoke)" if smoke else ""),
+              flush=True)
+        results[name] = fn(smoke=smoke)
+        print("  %s" % (json.dumps(results[name], sort_keys=True),))
+    return results
+
+
+def merge_into(path: str, label: str, results: dict) -> None:
+    data = {"schema": 1, "benchmarks": {}}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    benches = data.setdefault("benchmarks", {})
+    for name, metrics in results.items():
+        benches.setdefault(name, {})[label] = metrics
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes; assert completion, not speed")
+    parser.add_argument("--label", default="after",
+                        help="label to file results under (before/after)")
+    parser.add_argument("--output",
+                        default=os.path.join(REPO_ROOT, "BENCH_core.json"),
+                        help="JSON trajectory file to merge into")
+    parser.add_argument("--no-write", action="store_true",
+                        help="run and print without touching the file")
+    args = parser.parse_args(argv)
+    results = run_all(smoke=args.smoke)
+    if not args.no_write and not args.smoke:
+        merge_into(args.output, args.label, results)
+        print("merged under label %r into %s" % (args.label, args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,11 @@ the A2 ablation explores.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..ids import BroadcastId
+from ..perf import PERF
+from .expiry import ExpiryMap
 
 #: Safety bound: a broadcast never crosses more overlay hops than this.
 MAX_BROADCAST_HOPS = 32
@@ -36,7 +38,11 @@ class BroadcastEngine:
         #: Callable returning the current session secret (it can change
         #: when the LPM joins an existing session).
         self._secret_fn = secret_fn
-        self._seen: Dict[tuple, float] = {}
+        #: Seen stamps, expiry-ordered: purge work is amortised O(1)
+        #: per arrival instead of a full rescan (the old quadratic
+        #: behaviour under a flood).  Window-boundary semantics are
+        #: identical — ``expiry < now`` forgets, ``expiry == now`` keeps.
+        self._seen = ExpiryMap(window_ms, now_fn)
         self._next_seq = 0
         self.duplicates_dropped = 0
         self.forwards = 0
@@ -60,6 +66,7 @@ class BroadcastEngine:
         updates) the seen-set.  Returns False for duplicates within the
         retention window.
         """
+        PERF.dedup_checks += 1
         if stamp is None:
             return False
         if not stamp.verify(self._secret_fn()):
@@ -68,24 +75,14 @@ class BroadcastEngine:
         if hops > MAX_BROADCAST_HOPS:
             self.hop_limited += 1
             return False
-        self._purge()
-        if stamp.key() in self._seen:
+        if stamp.key() in self._seen:  # purges expired entries first
             self.duplicates_dropped += 1
             return False
         self._remember(stamp)
         return True
 
     def _remember(self, stamp: BroadcastId) -> None:
-        self._seen[stamp.key()] = self._now_fn() + self.window_ms
-
-    def _purge(self) -> None:
-        """Retention: entries older than the window are forgotten — a
-        too-short window makes loops retransmit (the ablation's cost)."""
-        now = self._now_fn()
-        expired = [key for key, expiry in self._seen.items() if expiry < now]
-        for key in expired:
-            del self._seen[key]
+        self._seen.add(stamp.key())
 
     def seen_count(self) -> int:
-        self._purge()
         return len(self._seen)

@@ -66,6 +66,8 @@ class DatagramEndpoint:
         self._unacked: Dict[int, list] = {}
         #: recently delivered sequence numbers from the peer.
         self._seen: list = []
+        #: intro_id of the peer incarnation whose seqs ``_seen`` covers.
+        self._peer_intro_id: Optional[str] = None
 
     @property
     def open(self) -> bool:
@@ -112,6 +114,7 @@ class DatagramEndpoint:
                     "from_host": self.local_name, "user": lpm.user,
                     "token": token, "secret": lpm.secret,
                     "ccs_host": lpm.ccs_host,
+                    "intro_id": self.fabric.next_intro_id(),
                     "known": lpm.authenticated_siblings()}
         self._transmit(datagram, nbytes, 0.0, tries=1)
 
@@ -145,6 +148,19 @@ class DatagramEndpoint:
         entry = self._unacked.pop(seq, None)
         if entry is not None:
             self.fabric.lpm.sim.cancel(entry[0])
+
+    def note_peer_alive(self) -> None:
+        """Any authenticated arrival proves the peer is up.
+
+        In-flight retry budgets restart, so under message loss an
+        endpoint only dies after a full retry window of *mutual*
+        silence — matching the stream transport, whose circuits break
+        on peer death rather than on lost packets.  A crashed or
+        partitioned peer sends nothing, so failure detection
+        (`test_retry_exhaustion_closes_endpoint`) is unaffected.
+        """
+        for entry in self._unacked.values():
+            entry[2] = 0
 
     # ------------------------------------------------------------------
     # Receiving
@@ -200,8 +216,23 @@ class DatagramFabric:
         self._endpoints: Dict[str, DatagramEndpoint] = {}
         self._pending_intros: Dict[str, Deferred] = {}
         self._keepalive_timer = None
+        self._next_intro_id = 0
         self.rejected = 0
         self.pings_sent = 0
+
+    def next_intro_id(self) -> str:
+        """A fresh endpoint-incarnation marker.
+
+        Carried in the intro so the receiver can tell a *new* sender
+        endpoint (sequence numbers reset — stale ``_seen`` entries
+        would silently swallow its messages) from a mere retransmission
+        of an intro it already processed (clearing ``_seen`` there
+        could re-deliver data, breaking exactly-once).  Qualified with
+        the simulation clock so the marker survives an LPM restart
+        (which resets the per-fabric counter).
+        """
+        self._next_intro_id += 1
+        return "%.6f:%d" % (self.lpm.sim.now_ms, self._next_intro_id)
 
     def bind(self) -> None:
         self.lpm.world.datagrams.bind(self.lpm.name,
@@ -293,12 +324,14 @@ class DatagramFabric:
         if kind == "ack":
             endpoint = self._endpoints.get(sender)
             if endpoint is not None:
+                endpoint.note_peer_alive()
                 endpoint.on_ack(datagram["seq"])
         elif kind == "intro":
             self._handle_intro(datagram, sender)
         elif kind == "intro_ack":
             endpoint = self._endpoints.get(sender)
             if endpoint is not None:
+                endpoint.note_peer_alive()
                 endpoint.on_ack(datagram.get("acked_seq", -1))
                 self.lpm.on_datagram_intro_ack(datagram, endpoint)
         elif kind == "data":
@@ -308,6 +341,9 @@ class DatagramFabric:
             if datagram.get("sig") != expected:
                 self.rejected += 1
                 return
+            endpoint = self._endpoints.get(sender)
+            if endpoint is not None:
+                endpoint.note_peer_alive()
             self.send_ack(sender, datagram["seq"])
 
     def _handle_intro(self, datagram: dict, sender: str) -> None:
@@ -317,6 +353,15 @@ class DatagramFabric:
             self.rejected += 1
             return  # silently dropped, like a bad packet
         endpoint = self.endpoint_for(sender)
+        intro_id = datagram.get("intro_id")
+        if intro_id != endpoint._peer_intro_id:
+            # A new sender incarnation: its sequence numbers restart,
+            # so the old incarnation's delivered-window must not
+            # suppress them.  (A retransmitted intro carries the same
+            # intro_id and leaves the window alone.)
+            endpoint._peer_intro_id = intro_id
+            endpoint._seen.clear()
+        endpoint.note_peer_alive()
         # Ack the intro itself and let the LPM register the sibling.
         lpm.on_datagram_intro(datagram, endpoint)
         lpm.world.datagrams.send(
@@ -337,4 +382,5 @@ class DatagramFabric:
         if endpoint is None:
             self.rejected += 1  # data from an unintroduced peer
             return
+        endpoint.note_peer_alive()
         endpoint.deliver(datagram)

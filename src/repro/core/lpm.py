@@ -25,6 +25,7 @@ from ..errors import ConnectionClosedError, ReproError
 from ..ids import GlobalPid
 from ..netsim.latency import load_factor
 from ..netsim.stream import StreamConnection
+from ..perf import PERF
 from ..tracing.events import TraceEventType
 from ..unixsim.inetd import INETD_SERVICE, PPM_SERVICE
 from ..unixsim.kernel import KernelEvent, KernelMessage
@@ -34,6 +35,7 @@ from .broadcast import BroadcastEngine
 from .control import ControlAction, apply_action
 from .dgram import DatagramFabric
 from .dispatcher import HandlerPool
+from .expiry import ExpiryMap
 from .messages import Message, MsgKind
 from .progspec import build_program
 from .recovery import RecoveryManager
@@ -75,6 +77,18 @@ class SiblingLink:
         self.opened_ms = 0.0
 
 
+#: Sentinel in the exactly-once cache while the first execution of a
+#: request is still running (duplicates arriving meanwhile are dropped;
+#: the original's reply is on its way).
+_REQUEST_PENDING = object()
+
+#: Side-effecting request kinds covered by LPM-level retransmission and
+#: the server's exactly-once cache.  Broadcast-stamped kinds must never
+#: be retried (the dedup seen-set would swallow the retry), and the CCS
+#: kinds have their own recovery-layer retry logic.
+_RETRIED_KINDS = frozenset({MsgKind.CONTROL, MsgKind.CREATE})
+
+
 class _Pending:
     """Bookkeeping for one outstanding remote request."""
 
@@ -82,6 +96,8 @@ class _Pending:
         self.on_reply = on_reply
         self.timer = timer
         self.handler = handler
+        #: At-least-once retransmission timer (datagram transport only).
+        self.retry_timer = None
 
 
 class _GatherOp:
@@ -154,6 +170,12 @@ class LocalProcessManager:
         self.tools: List = []
         self.records: Dict[int, ProcessRecord] = {}
         self._pending: Dict[int, _Pending] = {}
+        #: Exactly-once guard for side-effecting sibling requests: maps
+        #: (origin, user, req_id) to the cached outcome so an LPM-level
+        #: retransmission re-sends the reply instead of re-running the
+        #: side effect.  Retained well past the client's own timeout.
+        self._done_requests = ExpiryMap(
+            self.config.request_timeout_ms * 4, lambda: self.sim.now_ms)
         self._req_counter = 0
         self._cpu_free_ms = 0.0
         self._ttl_timer = None
@@ -557,6 +579,7 @@ class LocalProcessManager:
         if pending is None:
             return
         self.sim.cancel(pending.timer)
+        self.sim.cancel(pending.retry_timer)
         self.pool.release(pending.handler)
         # Route learning from reply routes (section 4).
         if len(message.route) > 2 and \
@@ -612,6 +635,7 @@ class LocalProcessManager:
             pending = self._pending.pop(req_id, None)
             if pending is None:
                 return
+            self.sim.cancel(pending.retry_timer)
             self.pool.release(pending.handler)
             pending.on_reply(None)
 
@@ -630,6 +654,7 @@ class LocalProcessManager:
                 timed_out_now = self._pending.pop(req_id, None)
                 if timed_out_now is not None:
                     self.sim.cancel(timed_out_now.timer)
+                    self.sim.cancel(timed_out_now.retry_timer)
                     self.pool.release(timed_out_now.handler)
                     timed_out_now.on_reply(None)
 
@@ -638,6 +663,59 @@ class LocalProcessManager:
                               label="handler %s#%d" % (kind.value, req_id))
         else:
             transmit()
+
+        # Datagrams give no delivery guarantee once the endpoint's own
+        # ARQ budget is spent, so side-effecting requests carry an
+        # LPM-level at-least-once retransmission; the receiving LPM's
+        # exactly-once cache (see ``_note_request_started``) keeps the
+        # end-to-end semantics exactly-once.  The retry period spans a
+        # full endpoint ARQ window so it only fires when the transport
+        # genuinely gave up (or the reply itself was lost).
+        if self.config.transport == "datagram" and broadcast is None \
+                and kind in _RETRIED_KINDS:
+            self._arm_request_retry(req_id, next_hop, message)
+
+    def _arm_request_retry(self, req_id: int, next_hop: str,
+                           message: Message) -> None:
+        pending = self._pending.get(req_id)
+        if pending is None:
+            return
+        interval = self.config.datagram_rto_ms * \
+            (self.config.datagram_max_retries + 1)
+        pending.retry_timer = self.sim.schedule(
+            interval, self._retry_request, req_id, next_hop, message,
+            label="request retry %s#%d" % (message.kind.value, req_id))
+
+    def _retry_request(self, req_id: int, next_hop: str,
+                       message: Message) -> None:
+        pending = self._pending.get(req_id)
+        if pending is None:
+            return
+        pending.retry_timer = None
+        PERF.requests_retransmitted += 1
+        link = self.siblings.get(next_hop)
+        if link is not None and link.endpoint.open:
+            try:
+                self._send_on_link(link, message)
+            except ConnectionClosedError:
+                pass
+            self._arm_request_retry(req_id, next_hop, message)
+            return
+
+        # The endpoint died (ARQ exhaustion under loss); re-introduce
+        # and resend.  A genuinely dead peer fails the introduction too,
+        # and the request then dies by its ordinary timeout.
+        def reconnected(relink) -> None:
+            if req_id not in self._pending:
+                return
+            if relink is not None and relink.endpoint.open:
+                try:
+                    self._send_on_link(relink, message)
+                except ConnectionClosedError:
+                    pass
+            self._arm_request_retry(req_id, next_hop, message)
+
+        self.ensure_sibling(next_hop).then(reconnected)
 
     def _route_send(self, message: Message) -> None:
         """Send an already-addressed reply/notice along its route."""
@@ -885,6 +963,7 @@ class LocalProcessManager:
                                         "duplicate": True})
             self._route_send(reply)
             return
+        self.broadcast.forwards += 1
         self._trace(TraceEventType.BROADCAST_FORWARDED,
                     origin=message.origin)
 
@@ -902,6 +981,38 @@ class LocalProcessManager:
     # Control and creation requests from siblings
     # ==================================================================
 
+    def _note_request_started(self, message: Message) -> bool:
+        """Exactly-once guard for side-effecting sibling requests.
+
+        Returns True when this request was already executed (the cached
+        reply is re-sent — the client's retransmission means the first
+        reply was lost) or is still executing (the duplicate is dropped;
+        the original's reply is on its way).  Otherwise records the
+        request as in progress and returns False.  The payload is
+        compared too, so a fresh request that happens to collide on
+        (origin, req_id) — e.g. after an origin restart — is never
+        answered from the cache.
+        """
+        key = (message.origin, message.user, message.req_id)
+        cached = self._done_requests.get(key)
+        if cached is not None and cached[0] is message.kind \
+                and cached[1] == message.payload:
+            PERF.requests_deduplicated += 1
+            result = cached[2]
+            if result is not _REQUEST_PENDING:
+                reply = message.make_reply(
+                    self._ack_kind_for(message.kind), self.name, result)
+                self._route_send(reply)
+            return True
+        self._done_requests.add(
+            key, (message.kind, message.payload, _REQUEST_PENDING))
+        return False
+
+    def _note_request_done(self, message: Message, result: dict) -> None:
+        self._done_requests.add(
+            (message.origin, message.user, message.req_id),
+            (message.kind, message.payload, result))
+
     def _apply_control(self, pid: int, action_name: str) -> dict:
         try:
             action = ControlAction(action_name)
@@ -917,9 +1028,13 @@ class LocalProcessManager:
                 "host": self.name}
 
     def _handle_control(self, message: Message) -> None:
+        if self._note_request_started(message):
+            return
+
         def acted() -> None:
             result = self._apply_control(message.payload["pid"],
                                          message.payload["action"])
+            self._note_request_done(message, result)
             reply = message.make_reply(MsgKind.CONTROL_ACK, self.name,
                                        result)
             self._route_send(reply)
@@ -930,6 +1045,8 @@ class LocalProcessManager:
                               "action"),))
 
     def _handle_create(self, message: Message) -> None:
+        if self._note_request_started(message):
+            return
         payload = message.payload
 
         def created() -> None:
@@ -941,13 +1058,12 @@ class LocalProcessManager:
                     payload.get("program"), parent=parent_gpid,
                     foreground=payload.get("foreground", True))
             except ReproError as exc:
-                reply = message.make_reply(
-                    MsgKind.CREATE_ACK, self.name,
-                    {"ok": False, "error": str(exc)})
+                result = {"ok": False, "error": str(exc)}
             else:
-                reply = message.make_reply(
-                    MsgKind.CREATE_ACK, self.name,
-                    {"ok": True, "host": self.name, "pid": proc.pid})
+                result = {"ok": True, "host": self.name, "pid": proc.pid}
+            self._note_request_done(message, result)
+            reply = message.make_reply(MsgKind.CREATE_ACK, self.name,
+                                       result)
             self._route_send(reply)
 
         # The LPM is the ready process-creation server: a cheap fork.
@@ -983,6 +1099,7 @@ class LocalProcessManager:
             link = self.siblings[peer]
             try:
                 self._send_on_link(link, onward, forwarding=True)
+                self.broadcast.forwards += 1
                 self._trace(TraceEventType.BROADCAST_FORWARDED,
                             origin=message.origin)
             except ConnectionClosedError:
@@ -1301,6 +1418,7 @@ class LocalProcessManager:
         self._cancel_ttl()
         for pending in list(self._pending.values()):
             self.sim.cancel(pending.timer)
+            self.sim.cancel(pending.retry_timer)
         self._pending.clear()
         for link in list(self.siblings.values()):
             if link.endpoint.open:

@@ -79,6 +79,17 @@ class Message:
     reply_to: Optional[int] = None
     broadcast: Optional[BroadcastId] = None
     final_dest: Optional[str] = None
+    #: Wire-layer cache slot: ``(fingerprint, encoded bytes)`` managed
+    #: by :mod:`repro.core.wire`.  The fingerprint covers the fields
+    #: that legitimately change while a message is in flight (the route
+    #: grows hop by hop); payload dicts are never mutated after
+    #: construction anywhere in the protocol, and must not be.
+    _wire_cache: Optional[tuple] = field(default=None, init=False,
+                                         repr=False, compare=False)
+
+    def wire_fingerprint(self) -> tuple:
+        """The mutation-sensitive identity of this message's encoding."""
+        return (tuple(self.route), self.final_dest, self.reply_to)
 
     def make_reply(self, kind: MsgKind, sender_host: str,
                    payload: Optional[dict] = None) -> "Message":

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..ids import GlobalPid
+from ..perf import PERF
 from ..tracing.events import TraceEventType
 from ..tracing.triggers import Trigger, TriggerEngine
 from .client import PPMClient
@@ -86,6 +87,21 @@ class PersonalProcessManager:
 
     def session_info(self) -> dict:
         return self.client.session_info()
+
+    def perf_stats(self) -> dict:
+        """Hot-path performance counters plus simulator totals.
+
+        The counters (see :mod:`repro.perf`) are process-global and
+        always on; this is a read-only snapshot for experiments and
+        tests that want to assert on redundant work (re-encodes,
+        re-hashed stamps, dedup scans, heap compactions) rather than on
+        wall-clock noise.
+        """
+        stats = PERF.snapshot()
+        stats["sim_events_run"] = self.world.sim.events_run
+        stats["sim_now_ms"] = self.world.sim.now_ms
+        stats["sim_queue_compactions"] = self.world.sim.queue.compactions
+        return stats
 
     # ------------------------------------------------------------------
     # History-dependent triggers (section 1)

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..errors import ReproError
 from ..ids import BroadcastId
+from ..perf import PERF
 from .messages import Message, MsgKind
 
 #: Fixed framing overhead per message (headers, lengths, checksums).
@@ -35,7 +36,22 @@ def _broadcast_from_dict(data: Optional[dict]) -> Optional[BroadcastId]:
 
 
 def encode(message: Message) -> bytes:
-    """Canonical JSON encoding of a message."""
+    """Canonical JSON encoding of a message.
+
+    Encodings are cached on the message object.  The cache key is the
+    message's :meth:`~repro.core.messages.Message.wire_fingerprint` —
+    the fields that legitimately change while a message is in flight
+    (the route grows hop by hop as broadcasts are forwarded).  Payload
+    dicts are immutable-by-convention after construction, so a message
+    that is sized or transmitted on several links encodes exactly once
+    per route extension instead of once per hop.
+    """
+    cached = message._wire_cache
+    fingerprint = message.wire_fingerprint()
+    if cached is not None and cached[0] == fingerprint:
+        PERF.encode_cache_hits += 1
+        return cached[1]
+    PERF.encodes_performed += 1
     try:
         body = json.dumps({
             "kind": message.kind.value,
@@ -51,7 +67,9 @@ def encode(message: Message) -> bytes:
     except (TypeError, ValueError) as exc:
         raise ReproError(
             "unserialisable payload in %s: %s" % (message.kind, exc)) from exc
-    return body.encode("utf-8")
+    encoded = body.encode("utf-8")
+    message._wire_cache = (fingerprint, encoded)
+    return encoded
 
 
 def decode(data: bytes) -> Message:
@@ -67,4 +85,7 @@ def decode(data: bytes) -> Message:
 
 def message_size_bytes(message: Message) -> int:
     """The size the network charges when this message is transmitted."""
-    return HEADER_BYTES + len(encode(message))
+    PERF.size_calls += 1
+    nbytes = HEADER_BYTES + len(encode(message))
+    PERF.bytes_charged += nbytes
+    return nbytes

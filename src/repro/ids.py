@@ -12,6 +12,7 @@ import hashlib
 from dataclasses import dataclass
 
 from .errors import ReproError
+from .perf import PERF
 
 
 @dataclass(frozen=True, order=True)
@@ -48,6 +49,14 @@ def _sign(origin: str, timestamp_ms: float, seq: int, secret: str) -> str:
     return digest.hexdigest()[:16]
 
 
+#: Signature-verification memo.  Keyed on every field of the stamp PLUS
+#: the claimed signature and the secret, so a forged stamp that shares
+#: ``key()`` with a genuine one can never hit a cached True.  Bounded so
+#: adversarial traffic cannot grow it without limit.
+_VERIFY_CACHE: dict = {}
+_VERIFY_CACHE_MAX = 4096
+
+
 @dataclass(frozen=True)
 class BroadcastId:
     """A signed timestamp naming the originating host (section 4).
@@ -71,9 +80,26 @@ class BroadcastId:
                    signature=_sign(origin, timestamp_ms, seq, secret))
 
     def verify(self, secret: str) -> bool:
-        """Check the signature against the session secret."""
-        return self.signature == _sign(self.origin, self.timestamp_ms,
-                                       self.seq, secret)
+        """Check the signature against the session secret.
+
+        Flooding presents the same stamp to every LPM on every hop;
+        results are memoised (see :data:`_VERIFY_CACHE`) so a broadcast
+        storm costs one hash per distinct (stamp, secret), not one per
+        arrival.
+        """
+        cache_key = (self.origin, self.timestamp_ms, self.seq,
+                     self.signature, secret)
+        cached = _VERIFY_CACHE.get(cache_key)
+        if cached is not None:
+            PERF.hmac_cache_hits += 1
+            return cached
+        PERF.hmac_computed += 1
+        result = self.signature == _sign(self.origin, self.timestamp_ms,
+                                         self.seq, secret)
+        if len(_VERIFY_CACHE) >= _VERIFY_CACHE_MAX:
+            _VERIFY_CACHE.clear()
+        _VERIFY_CACHE[cache_key] = result
+        return result
 
     def key(self) -> tuple:
         """The dedup key retained inside the time window."""

@@ -12,6 +12,7 @@ import random
 from typing import Callable, Optional
 
 from ..errors import SimulationError
+from ..perf import PERF
 from .clock import SimClock
 from .events import Event, EventQueue
 
@@ -63,11 +64,16 @@ class Simulator:
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel a scheduled event; safe on None and already-cancelled."""
+        """Cancel a scheduled event; safe on None and already-cancelled.
+
+        All queue bookkeeping happens inside :meth:`Event.cancel`, so
+        cancelling an event that already fired (or was never queued) is
+        harmless rather than a counter-drift bug.
+        """
         if event is None or event.cancelled:
             return
+        PERF.events_cancelled += 1
         event.cancel()
-        self.queue.note_cancelled()
 
     # ------------------------------------------------------------------
     # Running
@@ -82,6 +88,7 @@ class Simulator:
         callback, args = event.callback, event.args
         event.callback, event.args = None, ()
         self._events_run += 1
+        PERF.events_run += 1
         if callback is not None:
             callback(*args)
         return True

@@ -1,0 +1,16 @@
+"""Always-on performance counters for the hot paths.
+
+The counters are process-global and cheap (plain integer adds on a
+slotted singleton), so the instrumented code — message encoding, the
+broadcast dedup engine, the event queue — can charge them
+unconditionally.  ``repro.perf.PERF`` is the singleton; every counter
+is documented in :mod:`repro.perf.counters` and in ``docs/PERF.md``.
+
+The ``benchmarks/perf`` runner resets the counters around each
+microbenchmark and records the deltas in ``BENCH_core.json`` so the
+repository carries a perf trajectory from PR to PR.
+"""
+
+from .counters import PERF, PerfCounters
+
+__all__ = ["PERF", "PerfCounters"]

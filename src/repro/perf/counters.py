@@ -1,0 +1,110 @@
+"""The counter registry.
+
+One slotted object holds every counter; incrementing an attribute on it
+is the cheapest always-on instrumentation Python offers short of doing
+nothing.  Counters only ever count *work* (things that happened), never
+derived rates — derived numbers belong to whoever reads a snapshot.
+
+Counter inventory
+-----------------
+
+Wire layer (``repro.core.wire``, ``repro.ids``):
+
+``encodes_performed``
+    Full canonical JSON serialisations actually executed.
+``encode_cache_hits``
+    Serialisations avoided because the message's cached encoding was
+    still valid (same route fingerprint).
+``size_calls``
+    Calls to :func:`repro.core.wire.message_size_bytes`.
+``bytes_charged``
+    Total bytes the network was told to charge via
+    :func:`message_size_bytes` results.
+``hmac_computed``
+    Broadcast-stamp signature computations (SHA-256 runs).
+``hmac_cache_hits``
+    Stamp verifications answered from the ``(key, signature, secret)``
+    cache without re-hashing.
+
+Broadcast dedup (``repro.core.broadcast``):
+
+``dedup_checks``
+    Calls to ``BroadcastEngine.should_accept``.
+``dedup_entries_scanned``
+    Seen-set entries examined while expiring old stamps.  Before the
+    expiry-deque this was the whole seen-set per check; now it is only
+    the entries that actually expired (plus one peek).
+``dedup_entries_expired``
+    Entries dropped because their retention window passed.
+
+Event queue (``repro.netsim``):
+
+``events_run``
+    Events executed by any simulator in this process.
+``events_cancelled``
+    Events cancelled before firing.
+``events_fastpath``
+    Events appended through the in-order fast path instead of a heap
+    push.
+``heap_compactions``
+    Times an event queue rebuilt itself to shed cancelled entries.
+
+Exactly-once request layer (``repro.core.lpm``):
+
+``requests_retransmitted``
+    Datagram-transport requests re-sent by the LPM layer after the ARQ
+    gave up or a reply went missing.
+``requests_deduplicated``
+    Duplicate requests absorbed by the server-side exactly-once cache.
+"""
+
+from __future__ import annotations
+
+_COUNTERS = (
+    "encodes_performed",
+    "encode_cache_hits",
+    "size_calls",
+    "bytes_charged",
+    "hmac_computed",
+    "hmac_cache_hits",
+    "dedup_checks",
+    "dedup_entries_scanned",
+    "dedup_entries_expired",
+    "events_run",
+    "events_cancelled",
+    "events_fastpath",
+    "heap_compactions",
+    "requests_retransmitted",
+    "requests_deduplicated",
+)
+
+
+class PerfCounters:
+    """A bag of process-wide monotonic counters."""
+
+    __slots__ = _COUNTERS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict:
+        """The current values as a plain dict (stable key order)."""
+        return {name: getattr(self, name) for name in _COUNTERS}
+
+    def delta_since(self, baseline: dict) -> dict:
+        """Counter increments since a previous :meth:`snapshot`."""
+        return {name: getattr(self, name) - baseline.get(name, 0)
+                for name in _COUNTERS}
+
+    def __repr__(self) -> str:
+        busy = ["%s=%d" % (name, getattr(self, name))
+                for name in _COUNTERS if getattr(self, name)]
+        return "PerfCounters(%s)" % (", ".join(busy) or "all zero",)
+
+
+#: The process-wide singleton every instrumented module charges.
+PERF = PerfCounters()

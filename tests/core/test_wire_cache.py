@@ -1,0 +1,87 @@
+"""Regression tests for the wire-layer encoding cache.
+
+A message is sized/encoded at every hop it crosses; the cache must make
+that free *without ever* serving bytes that predate a route extension —
+the one legitimate in-flight mutation (broadcast forwarding appends the
+next hop, failure replies re-aim ``route``/``final_dest``).
+"""
+
+import pytest
+
+from repro.core.messages import Message, MsgKind
+from repro.core.wire import HEADER_BYTES, decode, encode, message_size_bytes
+from repro.errors import ReproError
+from repro.perf import PERF
+
+
+def _message(**overrides) -> Message:
+    fields = dict(kind=MsgKind.GATHER, req_id=7, origin="alpha",
+                  user="lfc", payload={"what": "snapshot"},
+                  route=["alpha", "beta"], final_dest="beta")
+    fields.update(overrides)
+    return Message(**fields)
+
+
+def test_repeat_encode_hits_cache_with_identical_bytes():
+    message = _message()
+    PERF.reset()
+    first = encode(message)
+    assert PERF.encodes_performed == 1
+    again = encode(message)
+    assert again == first
+    assert PERF.encode_cache_hits == 1
+    assert PERF.encodes_performed == 1
+    assert message_size_bytes(message) == HEADER_BYTES + len(first)
+
+
+def test_route_extension_mid_flight_invalidates_cache():
+    message = _message()
+    stale = encode(message)
+    # The broadcast-forwarding pattern: the route grows hop by hop,
+    # sometimes via in-place append on the live message.
+    message.route.append("gamma")
+    fresh = encode(message)
+    assert fresh != stale
+    assert decode(fresh).route == ["alpha", "beta", "gamma"]
+    assert message_size_bytes(message) == HEADER_BYTES + len(fresh)
+
+
+def test_route_reassignment_invalidates_cache():
+    message = _message()
+    encode(message)
+    message.route = ["alpha", "beta", "gamma", "delta"]
+    assert decode(encode(message)).route == message.route
+
+
+def test_failure_reaim_invalidates_cache():
+    # _forward's no-route reply rewrites route and final_dest on an
+    # already-encoded reply; both are part of the fingerprint.
+    message = _message(reply_to=7, kind=MsgKind.GATHER_REPLY)
+    encode(message)
+    message.route = ["beta", "alpha"]
+    message.final_dest = "alpha"
+    decoded = decode(encode(message))
+    assert decoded.final_dest == "alpha"
+    assert decoded.route == ["beta", "alpha"]
+
+
+def test_encode_failure_is_not_cached():
+    message = _message(payload={"bad": object()})
+    with pytest.raises(ReproError):
+        encode(message)
+    message.payload = {"good": 1}
+    message.route = list(message.route) + ["gamma"]  # new fingerprint
+    assert decode(encode(message)).payload == {"good": 1}
+
+
+def test_size_charged_once_per_distinct_encoding():
+    message = _message()
+    PERF.reset()
+    for _ in range(5):
+        message_size_bytes(message)
+    message.route.append("gamma")
+    for _ in range(5):
+        message_size_bytes(message)
+    assert PERF.encodes_performed == 2
+    assert PERF.encode_cache_hits == 8
+    assert PERF.size_calls == 10
