@@ -17,6 +17,13 @@ runs through:
     The A4 stress setup (section 8 "into the tens of nodes"): a
     40-host star session, three snapshot gathers.
 
+``gather_merge_40``
+    The gather layer's record merge in isolation at the 40-host scale:
+    the old shape (every child merge re-walks the accumulated record
+    list, then one global sort reaches gpid order) against the single
+    k-way ``heapq.merge`` pass over already-sorted runs, with
+    deterministic record-touch counts for both.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.runner [--smoke]
@@ -52,7 +59,7 @@ _REPORTED = (
     "bytes_charged", "hmac_computed", "hmac_cache_hits",
     "dedup_checks", "dedup_entries_scanned", "dedup_entries_expired",
     "events_run", "events_cancelled", "events_fastpath",
-    "heap_compactions",
+    "heap_compactions", "gather_merges", "gather_records_merged",
 )
 
 
@@ -176,6 +183,58 @@ def bench_snapshot(smoke: bool = False) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Scenario 4: the gather record merge in isolation, 40 sorted runs
+# ----------------------------------------------------------------------
+
+def bench_gather_merge(smoke: bool = False) -> dict:
+    import heapq
+
+    n_runs = 8 if smoke else 40
+    per_run = 10 if smoke else 50
+    rounds = 20 if smoke else 400
+    # Each child run covers an interleaved slice of the host space, the
+    # way sibling subtrees really do, so the merge genuinely interleaves
+    # instead of concatenating pre-sorted blocks.
+    runs = [[{"host": "h%04d" % (r + i * n_runs), "pid": 7,
+              "state": "running"} for i in range(per_run)]
+            for r in range(n_runs)]
+    key = lambda record: (record["host"], record["pid"])  # noqa: E731
+
+    def run() -> dict:
+        # Old shape: each arriving child reply re-walks (copies) the
+        # whole accumulated record list, and gpid order then needs a
+        # global sort — O(N * k) record touches across the gather.
+        touches_old = 0
+        start = time.perf_counter()
+        for _ in range(rounds):
+            accumulated = []
+            for child in runs:
+                accumulated = accumulated + child
+                touches_old += len(accumulated)
+            merged = sorted(accumulated, key=key)
+        rewalk_s = time.perf_counter() - start
+        touches_old //= rounds
+
+        # New shape: one linear k-way pass; every record is touched
+        # exactly once per gather level.
+        start = time.perf_counter()
+        for _ in range(rounds):
+            kway = list(heapq.merge(*runs, key=key))
+        kway_s = time.perf_counter() - start
+        touches_new = n_runs * per_run
+
+        assert kway == merged
+        return {"n_runs": n_runs, "records": n_runs * per_run,
+                "rounds": rounds,
+                "concat_rewalk_wall_s": round(rewalk_s, 4),
+                "kway_merge_wall_s": round(kway_s, 4),
+                "concat_rewalk_record_touches": touches_old,
+                "kway_merge_record_touches": touches_new}
+
+    return _measure(run)
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 
@@ -183,6 +242,7 @@ SCENARIOS = {
     "encode_throughput": bench_encode,
     "broadcast_flood": bench_broadcast_flood,
     "snapshot_40_hosts": bench_snapshot,
+    "gather_merge_40": bench_gather_merge,
 }
 
 

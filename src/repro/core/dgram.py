@@ -268,9 +268,37 @@ class DatagramFabric:
             return
         for endpoint in list(self._endpoints.values()):
             if endpoint.open and not endpoint._unacked:
-                endpoint.send_ping()
-                self.pings_sent += 1
+                self.lpm.sim.schedule(
+                    self._keepalive_offset_ms(endpoint.peer_name),
+                    self._ping_endpoint, endpoint.peer_name,
+                    label="dgram ping %s->%s" % (self.lpm.name,
+                                                 endpoint.peer_name))
         self._arm_keepalive()
+
+    def _ping_endpoint(self, peer: str) -> None:
+        if not self.bound or not self.lpm.is_running():
+            return
+        endpoint = self._endpoints.get(peer)
+        if endpoint is not None and endpoint.open \
+                and not endpoint._unacked:
+            endpoint.send_ping()
+            self.pings_sent += 1
+
+    def _keepalive_offset_ms(self, peer: str) -> float:
+        """A per-endpoint jitter within the global keepalive period, so
+        a large session's pings spread instead of bursting on one tick.
+
+        Derived by hashing stable session identifiers — never from the
+        shared simulation RNG, whose draw sequence downstream code
+        depends on — so the offset is deterministic for a given seed
+        (the session secret is seed-derived) without perturbing any
+        other random choice.
+        """
+        digest = hashlib.sha256(
+            ("keepalive|%s|%s|%s" % (self.lpm.secret, self.lpm.name,
+                                     peer)).encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2.0 ** 32
+        return fraction * self.lpm.config.datagram_keepalive_ms
 
     def endpoint_for(self, peer: str) -> DatagramEndpoint:
         endpoint = self._endpoints.get(peer)
@@ -333,7 +361,7 @@ class DatagramFabric:
             if endpoint is not None:
                 endpoint.note_peer_alive()
                 endpoint.on_ack(datagram.get("acked_seq", -1))
-                self.lpm.on_datagram_intro_ack(datagram, endpoint)
+                self.lpm.transport.on_datagram_intro_ack(datagram, endpoint)
         elif kind == "data":
             self._handle_data(datagram, sender)
         elif kind == "ping":
@@ -362,8 +390,9 @@ class DatagramFabric:
             endpoint._peer_intro_id = intro_id
             endpoint._seen.clear()
         endpoint.note_peer_alive()
-        # Ack the intro itself and let the LPM register the sibling.
-        lpm.on_datagram_intro(datagram, endpoint)
+        # Ack the intro itself and let the transport register the
+        # sibling link.
+        lpm.transport.on_datagram_intro(datagram, endpoint)
         lpm.world.datagrams.send(
             lpm.name, sender, _port_name(lpm.user),
             {"kind": "intro_ack", "seq": 0,

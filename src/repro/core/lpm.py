@@ -11,10 +11,24 @@ end points follow Figure 4: one *kernel* socket where the kernel
 deposits event messages, one *accept* socket whose address the pmd
 distributes, and per-peer sockets for sibling LPMs and local tools.
 
-All remote conversations run over authenticated stream channels
-(Figure 3); requests that must block on a remote answer occupy a handler
-from the pool; broadcasts flood the sparse sibling graph with signed
-timestamps; routed messages follow cached source-destination routes.
+The LPM itself is a thin coordinator over four layers, one per facility
+the paper describes:
+
+* :mod:`repro.core.transport` — authenticated sibling channels, both
+  the stream circuits and the section 3 datagram alternative;
+* :mod:`repro.core.rpc` — request/reply with handlers, timeouts,
+  retransmission, and the server-side exactly-once cache;
+* :mod:`repro.core.router` — forwarding over cached source-destination
+  routes, route learning and invalidation;
+* :mod:`repro.core.gather` — the recursive snapshot/rstats collection
+  with k-way record merging.
+
+What remains here is what only the LPM can do: own the kernel and
+accept sockets, the local process records, request execution
+(control/create/locate), the time-to-live, and shutdown.  The layering
+is one-directional — layers call back into the LPM's injected surface
+(clock, CPU booking, trace hook, sibling dispatch), never into each
+other's internals — and is enforced by ``tools/check_layering.py``.
 """
 
 from __future__ import annotations
@@ -24,99 +38,22 @@ from typing import Callable, Dict, List, Optional
 from ..errors import ConnectionClosedError, ReproError
 from ..ids import GlobalPid
 from ..netsim.latency import load_factor
-from ..netsim.stream import StreamConnection
-from ..perf import PERF
 from ..tracing.events import TraceEventType
-from ..unixsim.inetd import INETD_SERVICE, PPM_SERVICE
-from ..unixsim.kernel import KernelEvent, KernelMessage
 from ..unixsim.process import ProcState, trace_flags_from_names
 from ..util import Deferred
 from .broadcast import BroadcastEngine
 from .control import ControlAction, apply_action
-from .dgram import DatagramFabric
 from .dispatcher import HandlerPool
-from .expiry import ExpiryMap
+from .gather import GatherEngine
 from .messages import Message, MsgKind
-from .progspec import build_program
+from .processtable import INFRA_COMMANDS, ProcessTable
 from .recovery import RecoveryManager
-from .routing import RouteCache
-from .snapshot import ProcessRecord
-from .wire import message_size_bytes
+from .router import MessageRouter, ack_kind_for
+from .rpc import RequestChannel
+from .toolservice import ToolService
+from .transport import SiblingTransport
 
-#: Commands that are PPM infrastructure, never part of the user's
-#: computation (excluded from snapshots and TTL liveness checks).
-INFRA_COMMANDS = frozenset({"lpm", "lpm-handler"})
-
-_KERNEL_TO_TRACE = {
-    KernelEvent.FORK: TraceEventType.FORK,
-    KernelEvent.EXEC: TraceEventType.EXEC,
-    KernelEvent.EXIT: TraceEventType.EXIT,
-    KernelEvent.SIGNAL: TraceEventType.SIGNAL,
-    KernelEvent.STOPPED: TraceEventType.STOPPED,
-    KernelEvent.CONTINUED: TraceEventType.CONTINUED,
-    KernelEvent.FILE_OPENED: TraceEventType.FILE_OPENED,
-    KernelEvent.FILE_CLOSED: TraceEventType.FILE_CLOSED,
-}
-
-_STATE_NAMES = {
-    ProcState.RUNNING: "running",
-    ProcState.SLEEPING: "sleeping",
-    ProcState.STOPPED: "stopped",
-    ProcState.ZOMBIE: "exited",
-    ProcState.DEAD: "exited",
-}
-
-
-class SiblingLink:
-    """An authenticated stream channel to a sibling LPM."""
-
-    def __init__(self, peer: str, endpoint) -> None:
-        self.peer = peer
-        self.endpoint = endpoint
-        self.authenticated = False
-        self.opened_ms = 0.0
-
-
-#: Sentinel in the exactly-once cache while the first execution of a
-#: request is still running (duplicates arriving meanwhile are dropped;
-#: the original's reply is on its way).
-_REQUEST_PENDING = object()
-
-#: Side-effecting request kinds covered by LPM-level retransmission and
-#: the server's exactly-once cache.  Broadcast-stamped kinds must never
-#: be retried (the dedup seen-set would swallow the retry), and the CCS
-#: kinds have their own recovery-layer retry logic.
-_RETRIED_KINDS = frozenset({MsgKind.CONTROL, MsgKind.CREATE})
-
-
-class _Pending:
-    """Bookkeeping for one outstanding remote request."""
-
-    def __init__(self, on_reply: Callable, timer, handler) -> None:
-        self.on_reply = on_reply
-        self.timer = timer
-        self.handler = handler
-        #: At-least-once retransmission timer (datagram transport only).
-        self.retry_timer = None
-
-
-class _GatherOp:
-    """State of one in-progress recursive gather."""
-
-    def __init__(self, what: str, reply_fn: Callable) -> None:
-        self.what = what
-        self.reply_fn = reply_fn
-        self.local_records: List[dict] = []
-        self.child_replies: List[dict] = []
-        self.missing: List[str] = []
-        self.outstanding = 0
-        self.merges_pending = 0
-        self.handler = None
-        self.finished = False
-
-    @property
-    def complete(self) -> bool:
-        return self.outstanding == 0 and self.merges_pending == 0
+__all__ = ["INFRA_COMMANDS", "LocalProcessManager", "install"]
 
 
 class LocalProcessManager:
@@ -136,11 +73,12 @@ class LocalProcessManager:
         # The LPM is a user-level process of its owner.
         self.proc = host.kernel.spawn(self.uid, "lpm",
                                       state=ProcState.SLEEPING)
+        self.table = ProcessTable(self)
         # Figure 4's end points: the accept socket...
         self.accept_service = "lpm:%s:%s" % (user, token[:8])
         host.node.listen(self.accept_service, self._accept)
         # ...and the kernel socket.
-        host.kernel.register_lpm(self.uid, self._on_kernel_message)
+        host.kernel.register_lpm(self.uid, self.table.on_kernel_message)
 
         #: Session secret for signing broadcast stamps; merged on HELLO.
         self.secret = "%016x" % self.sim.rng.getrandbits(64)
@@ -153,30 +91,15 @@ class LocalProcessManager:
         self.broadcast = BroadcastEngine(
             host.name, self.config.broadcast_dedup_window_ms,
             lambda: self.sim.now_ms, lambda: self.secret)
-        #: Datagram fabric, bound only under the datagram transport
-        #: (section 3's scalability alternative).
-        self.dgram = DatagramFabric(self)
-        if self.config.transport == "datagram":
-            self.dgram.bind()
-        self.routes = RouteCache(host.name)
+        # The four layers (see the module docstring) plus tool serving.
+        self.transport = SiblingTransport(self)
+        self.router = MessageRouter(self)
+        self.rpc = RequestChannel(self)
+        self.gather = GatherEngine(self)
+        self.tool_service = ToolService(self)
         self.recovery = RecoveryManager(self)
 
-        self.siblings: Dict[str, SiblingLink] = {}
-        #: Set once this LPM has joined a session (first authenticated
-        #: sibling); after that, HELLOs no longer overwrite the session
-        #: secret or the CCS identity.
-        self._session_established = False
-        self._pending_siblings: Dict[str, Deferred] = {}
         self.tools: List = []
-        self.records: Dict[int, ProcessRecord] = {}
-        self._pending: Dict[int, _Pending] = {}
-        #: Exactly-once guard for side-effecting sibling requests: maps
-        #: (origin, user, req_id) to the cached outcome so an LPM-level
-        #: retransmission re-sends the reply instead of re-running the
-        #: side effect.  Retained well past the client's own timeout.
-        self._done_requests = ExpiryMap(
-            self.config.request_timeout_ms * 4, lambda: self.sim.now_ms)
-        self._req_counter = 0
         self._cpu_free_ms = 0.0
         self._ttl_timer = None
         self.trace_flags = trace_flags_from_names(
@@ -220,16 +143,8 @@ class LocalProcessManager:
         self._cpu_free_ms = start + cost
         return (start - self.sim.now_ms) + cost
 
-    def _next_req_id(self) -> int:
-        self._req_counter += 1
-        return self._req_counter
-
     def is_running(self) -> bool:
         return self.alive and self.proc.alive and self.host.up
-
-    def authenticated_siblings(self) -> List[str]:
-        return sorted(peer for peer, link in self.siblings.items()
-                      if link.authenticated and link.endpoint.open)
 
     def describe_endpoints(self) -> dict:
         """Figure 4 data: the LPM's communication end points."""
@@ -244,6 +159,88 @@ class LocalProcessManager:
         }
 
     # ==================================================================
+    # Layer facades (the stable surface the layers, recovery, tests,
+    # and benchmarks address; each is a one-line delegation)
+    # ==================================================================
+
+    @property
+    def siblings(self) -> Dict:
+        return self.transport.links
+
+    @property
+    def routes(self):
+        return self.router.cache
+
+    @property
+    def dgram(self):
+        return self.transport.dgram
+
+    @property
+    def records(self) -> Dict:
+        return self.table.records
+
+    @property
+    def _pending(self) -> Dict:
+        return self.rpc.pending
+
+    @property
+    def _session_established(self) -> bool:
+        return self.transport.session_established
+
+    def authenticated_siblings(self) -> List[str]:
+        return self.transport.authenticated()
+
+    def ensure_sibling(self, peer: str) -> Deferred:
+        return self.transport.ensure_sibling(peer)
+
+    def _send_on_link(self, link, message: Message,
+                      forwarding: bool = False) -> None:
+        self.transport.send_on_link(link, message, forwarding=forwarding)
+
+    def _next_req_id(self) -> int:
+        return self.rpc.next_req_id()
+
+    def send_request(self, dest: str, kind: MsgKind, payload: dict,
+                     on_reply: Callable[[Optional[Message]], None],
+                     timeout_ms: Optional[float] = None,
+                     route: Optional[List[str]] = None,
+                     broadcast=None, use_handler: bool = True) -> None:
+        self.rpc.send_request(dest, kind, payload, on_reply,
+                              timeout_ms=timeout_ms, route=route,
+                              broadcast=broadcast, use_handler=use_handler)
+
+    def _route_send(self, message: Message) -> None:
+        self.router.route_send(message)
+
+    @staticmethod
+    def _ack_kind_for(kind: MsgKind) -> MsgKind:
+        return ack_kind_for(kind)
+
+    def start_gather(self, what: str,
+                     reply_fn: Callable[[dict], None],
+                     visited: Optional[List[str]] = None,
+                     broadcast=None, timeout_ms: Optional[float] = None
+                     ) -> None:
+        self.gather.start(what, reply_fn, visited=visited,
+                          broadcast=broadcast, timeout_ms=timeout_ms)
+
+    def create_local_process(self, command: str, args=(), program_spec=None,
+                             parent: Optional[GlobalPid] = None,
+                             foreground: bool = True):
+        return self.table.create_local_process(
+            command, args, program_spec, parent=parent,
+            foreground=foreground)
+
+    def adopt_process(self, pid: int) -> List[int]:
+        return self.table.adopt_process(pid)
+
+    def refresh_records(self) -> None:
+        self.table.refresh_records()
+
+    def local_records(self, what: str = "snapshot") -> List[dict]:
+        return self.table.local_records(what)
+
+    # ==================================================================
     # Accept socket: siblings and tools connect here
     # ==================================================================
 
@@ -255,7 +252,7 @@ class LocalProcessManager:
         if role == "tool":
             self._accept_tool(endpoint, payload)
         elif role == "sibling":
-            self._accept_sibling(endpoint, payload)
+            self.transport.accept_sibling(endpoint, payload)
         else:
             endpoint.close()
 
@@ -267,217 +264,17 @@ class LocalProcessManager:
             endpoint.close()
             return
         self.tools.append(endpoint)
-        endpoint.on_message = self._tool_on_message
+        endpoint.on_message = self.tool_service.on_message
         endpoint.on_close = self._tool_on_close
         self._trace(TraceEventType.CONN_OPEN, kind="tool")
-
-    def _accept_sibling(self, endpoint, payload) -> None:
-        # Channel authentication (section 3): the connector must present
-        # the token this LPM's pmd issued, proving the introduction came
-        # through the trusted name server.
-        if payload.get("token") != self.token or \
-                payload.get("user") != self.user:
-            self._trace(TraceEventType.CONN_CLOSED, kind="sibling",
-                        reason="authentication failed",
-                        peer=payload.get("from_host", "?"))
-            endpoint.close()
-            return
-        peer = payload["from_host"]
-        link = SiblingLink(peer, endpoint)
-        link.authenticated = True
-        link.opened_ms = self.sim.now_ms
-        old = self.siblings.get(peer)
-        if old is not None and old.endpoint.open:
-            old.endpoint.close()
-        self.siblings[peer] = link
-        endpoint.on_message = self._sibling_on_message
-        endpoint.on_close = self._sibling_on_close
-        # Join the sender's session unless we already belong to one.
-        if not self._session_established:
-            if payload.get("secret"):
-                self.secret = payload["secret"]
-            if payload.get("ccs_host"):
-                self.ccs_host = payload["ccs_host"]
-        self._session_established = True
-        self._trace(TraceEventType.CONN_OPEN, kind="sibling", peer=peer)
-        ack = Message(kind=MsgKind.HELLO_ACK, req_id=self._next_req_id(),
-                      origin=self.name, user=self.user,
-                      payload={"secret": self.secret,
-                               "ccs_host": self.ccs_host,
-                               "known": self.authenticated_siblings()})
-        self._send_on_link(link, ack)
-        self.recovery.on_contact(peer)
-        self._apply_topology_policy(payload.get("known", []))
-
-    # ==================================================================
-    # Sibling channel management
-    # ==================================================================
-
-    def ensure_sibling(self, peer: str) -> Deferred:
-        """Resolve to a :class:`SiblingLink` (or None on failure),
-        creating the remote LPM through inetd/pmd when necessary.
-        "The local LPM will create a remote LPM when one is required"
-        (section 3)."""
-        done = Deferred()
-        if peer == self.name:
-            done.resolve(None)
-            return done
-        link = self.siblings.get(peer)
-        if link is not None and link.authenticated and link.endpoint.open:
-            done.resolve(link)
-            return done
-        if peer in self._pending_siblings:
-            return self._pending_siblings[peer]
-        self._pending_siblings[peer] = done
-        done.then(lambda _result: self._pending_siblings.pop(peer, None))
-
-        def bootstrap_replied(payload, endpoint) -> None:
-            endpoint.close()
-            if not payload.get("ok"):
-                done.resolve(None)
-                return
-            if self.config.transport == "datagram":
-                self._open_sibling_datagram(peer, payload, done)
-            else:
-                self._open_sibling_channel(peer, payload, done)
-
-        def bootstrap_established(endpoint) -> None:
-            endpoint.on_message = bootstrap_replied
-            endpoint.on_close = lambda reason, ep: done.resolve(None)
-
-        # Figure 2 steps (1)-(4): ask the remote inetd for the user's
-        # LPM accept address, creating pmd and LPM as needed.
-        StreamConnection.connect(
-            self.world.network, self.name, peer, INETD_SERVICE,
-            payload={"service": PPM_SERVICE, "user": self.user,
-                     "origin_host": self.name, "origin_user": self.user},
-            on_established=bootstrap_established,
-            on_failed=lambda reason: done.resolve(None),
-            detect_ms=self.config.connection_detect_ms)
-        return done
-
-    def _open_sibling_channel(self, peer: str, bootstrap: dict,
-                              done: Deferred) -> None:
-        hello = {"role": "sibling", "user": self.user,
-                 "from_host": self.name, "token": bootstrap["token"],
-                 "secret": self.secret, "ccs_host": self.ccs_host,
-                 "known": self.authenticated_siblings()}
-
-        def established(endpoint) -> None:
-            link = SiblingLink(peer, endpoint)
-            link.opened_ms = self.sim.now_ms
-            self.siblings[peer] = link
-            endpoint.on_message = self._sibling_on_message
-            endpoint.on_close = self._sibling_on_close
-            endpoint.context = {"await_ack": done}
-
-        StreamConnection.connect(
-            self.world.network, self.name, peer,
-            bootstrap["accept_service"], payload=hello,
-            setup_ms=self.cost.connect_ms,
-            on_established=established,
-            on_failed=lambda reason: done.resolve(None),
-            detect_ms=self.config.connection_detect_ms)
-
-    def _apply_topology_policy(self, known_hosts: List[str]) -> None:
-        """Under the ``full_mesh`` ablation policy, eagerly connect to
-        every LPM a new sibling knows about; the paper's on-demand
-        policy does nothing here ("In most operational scenarios we
-        expect to have only very few of all the potential connections
-        between sibling LPMs in place", section 4)."""
-        if self.config.topology_policy != "full_mesh":
-            return
-        for host in known_hosts:
-            if host != self.name and host not in self.siblings:
-                self.ensure_sibling(host)
-
-    # ------------------------------------------------------------------
-    # Datagram transport (section 3's alternative)
-    # ------------------------------------------------------------------
-
-    def _open_sibling_datagram(self, peer: str, bootstrap: dict,
-                               done: Deferred) -> None:
-        """No circuit: introduce ourselves with the pmd token; every
-        subsequent message authenticates individually."""
-        def introduced(result) -> None:
-            if result is None:
-                done.resolve(None)
-
-        intro = self.dgram.introduce(peer, bootstrap["token"])
-        endpoint = self.dgram.endpoint_for(peer)
-        endpoint.context = (endpoint.context or {})
-        endpoint.context["await_link"] = done
-        intro.then(introduced)
-
-    def _register_datagram_sibling(self, peer: str, endpoint,
-                                   info: dict) -> SiblingLink:
-        link = SiblingLink(peer, endpoint)
-        link.authenticated = True
-        link.opened_ms = self.sim.now_ms
-        self.siblings[peer] = link
-        endpoint.on_message = self._sibling_on_message
-        endpoint.on_close = self._sibling_on_close
-        if not self._session_established:
-            if info.get("secret"):
-                self.secret = info["secret"]
-            if info.get("ccs_host"):
-                self.ccs_host = info["ccs_host"]
-        self._session_established = True
-        self._trace(TraceEventType.CONN_OPEN, kind="sibling-datagram",
-                    peer=peer)
-        self.recovery.on_contact(peer)
-        self._apply_topology_policy(info.get("known", []))
-        return link
-
-    def on_datagram_intro(self, datagram: dict, endpoint) -> None:
-        """Server side of the datagram introduction."""
-        self._register_datagram_sibling(datagram["from_host"], endpoint,
-                                        datagram)
-
-    def on_datagram_intro_ack(self, datagram: dict, endpoint) -> None:
-        """Client side: the peer accepted our introduction."""
-        peer = datagram["from_host"]
-        link = self._register_datagram_sibling(peer, endpoint, datagram)
-        context = endpoint.context or {}
-        waiter = context.get("await_intro")
-        if waiter is not None:
-            waiter.resolve(endpoint)
-        link_waiter = context.get("await_link")
-        if link_waiter is not None:
-            link_waiter.resolve(link)
-
-    def _sibling_on_close(self, reason: str, endpoint) -> None:
-        peer = endpoint.peer_name
-        link = self.siblings.get(peer)
-        if link is not None and link.endpoint is endpoint:
-            del self.siblings[peer]
-        self._trace(TraceEventType.CONN_CLOSED, kind="sibling", peer=peer,
-                    reason=reason)
-        for dest in self.routes.invalidate_via(peer):
-            self._trace(TraceEventType.ROUTE_LEARNED, dest=dest,
-                        forgotten=True)
-        if not self.is_running():
-            return
-        if reason != "closed":
-            self.recovery.on_connection_lost(peer, reason)
 
     def _tool_on_close(self, reason: str, endpoint) -> None:
         if endpoint in self.tools:
             self.tools.remove(endpoint)
         self._arm_ttl()
 
-    def _send_on_link(self, link: SiblingLink, message: Message,
-                      forwarding: bool = False) -> None:
-        cost = self.cost.forward_ms if forwarding else self.cost.sibling_send_ms
-        nbytes = message_size_bytes(message)
-        self._trace(TraceEventType.SIBLING_MESSAGE, peer=link.peer,
-                    kind=message.kind.value, nbytes=nbytes,
-                    forwarded=forwarding)
-        link.endpoint.send(message, nbytes=nbytes,
-                           extra_delay_ms=self._cpu_occupy(cost))
-
     # ==================================================================
-    # Sibling message reception
+    # Sibling message reception and dispatch
     # ==================================================================
 
     def _sibling_on_message(self, message: Message, endpoint) -> None:
@@ -488,60 +285,24 @@ class LocalProcessManager:
         # Routed-through traffic is relayed at the dispatcher with only
         # forwarding cost, no handler (hence Table 2's cheap extra hop).
         if message.final_dest is not None and message.final_dest != self.name:
-            self._forward(message, endpoint.peer_name)
+            self.router.forward(message, endpoint.peer_name)
             return
         delay = self._cpu_occupy(self.cost.sibling_recv_ms)
         self.sim.schedule(delay, self._handle_sibling, message, endpoint,
                           label="lpm recv %s" % (message.kind.value,))
-
-    def _forward(self, message: Message, arrived_from: str) -> None:
-        route = message.route
-        try:
-            index = route.index(self.name)
-            next_hop = route[index + 1]
-        except (ValueError, IndexError):
-            next_hop = None
-        if next_hop is None or next_hop not in self.siblings or \
-                not self.siblings[next_hop].endpoint.open:
-            # Cannot relay: report failure back toward the origin.
-            if not message.is_reply:
-                failure = message.make_reply(
-                    self._ack_kind_for(message.kind), self.name,
-                    {"ok": False, "error": "no route at %s" % (self.name,)})
-                failure.route = list(reversed(route[:route.index(self.name) + 1])) \
-                    if self.name in route else [self.name, arrived_from]
-                failure.final_dest = message.origin
-                self._route_send(failure)
-            return
-        try:
-            self._send_on_link(self.siblings[next_hop], message,
-                               forwarding=True)
-        except ConnectionClosedError:
-            pass
-
-    @staticmethod
-    def _ack_kind_for(kind: MsgKind) -> MsgKind:
-        return {
-            MsgKind.CONTROL: MsgKind.CONTROL_ACK,
-            MsgKind.CREATE: MsgKind.CREATE_ACK,
-            MsgKind.GATHER: MsgKind.GATHER_REPLY,
-            MsgKind.LOCATE: MsgKind.LOCATE_ACK,
-            MsgKind.CCS_REPORT: MsgKind.CCS_ACK,
-            MsgKind.CCS_PROBE: MsgKind.CCS_PROBE_ACK,
-        }.get(kind, MsgKind.TOOL_REPLY)
 
     def _handle_sibling(self, message: Message, endpoint) -> None:
         if not self.is_running():
             return
         peer = endpoint.peer_name
         if message.is_reply:
-            self._handle_reply(message)
+            self.rpc.handle_reply(message)
             return
         kind = message.kind
         if kind is MsgKind.HELLO_ACK:
-            self._handle_hello_ack(message, endpoint)
+            self.transport.handle_hello_ack(message, endpoint)
         elif kind is MsgKind.GATHER:
-            self._handle_gather(message, peer)
+            self.gather.handle_gather(message, peer)
         elif kind is MsgKind.CONTROL:
             self._handle_control(message)
         elif kind is MsgKind.CREATE:
@@ -553,465 +314,9 @@ class LocalProcessManager:
         elif kind is MsgKind.CCS_PROBE:
             self.recovery.on_ccs_probe(message)
 
-    def _handle_hello_ack(self, message: Message, endpoint) -> None:
-        peer = endpoint.peer_name
-        link = self.siblings.get(peer)
-        if link is None or link.endpoint is not endpoint:
-            return
-        link.authenticated = True
-        # Adopt the established side's session when we are the newcomer.
-        if not self._session_established:
-            if message.payload.get("secret"):
-                self.secret = message.payload["secret"]
-            if message.payload.get("ccs_host"):
-                self.ccs_host = message.payload["ccs_host"]
-        self._session_established = True
-        context = endpoint.context or {}
-        waiter = context.get("await_ack")
-        self._trace(TraceEventType.CONN_OPEN, kind="sibling", peer=peer)
-        self.recovery.on_contact(peer)
-        if waiter is not None:
-            waiter.resolve(link)
-        self._apply_topology_policy(message.payload.get("known", []))
-
-    def _handle_reply(self, message: Message) -> None:
-        pending = self._pending.pop(message.reply_to, None)
-        if pending is None:
-            return
-        self.sim.cancel(pending.timer)
-        self.sim.cancel(pending.retry_timer)
-        self.pool.release(pending.handler)
-        # Route learning from reply routes (section 4).
-        if len(message.route) > 2 and \
-                self.routes.learn_from_reply_route(message.route):
-            self._trace(TraceEventType.ROUTE_LEARNED,
-                        dest=message.route[0],
-                        route=list(reversed(message.route)))
-        pending.on_reply(message)
-
-    # ==================================================================
-    # Outbound requests
-    # ==================================================================
-
-    def send_request(self, dest: str, kind: MsgKind, payload: dict,
-                     on_reply: Callable[[Optional[Message]], None],
-                     timeout_ms: Optional[float] = None,
-                     route: Optional[List[str]] = None,
-                     broadcast=None, use_handler: bool = True) -> None:
-        """Send one request toward ``dest``; ``on_reply`` gets the reply
-        message, or None on timeout / unreachability.
-
-        Blocking conversations occupy a handler process (section 6):
-        "If responses are never received by a handler, they inform the
-        dispatcher of the failure, which returns a failure message to
-        the originator of the request."
-        """
-        if timeout_ms is None:
-            timeout_ms = self.config.request_timeout_ms
-        if route is None:
-            if dest in self.siblings and self.siblings[dest].endpoint.open:
-                route = [self.name, dest]
-            else:
-                cached = self.routes.route_to(dest)
-                if cached is None:
-                    on_reply(None)
-                    return
-                route = cached
-        next_hop = route[1] if len(route) > 1 else dest
-        link = self.siblings.get(next_hop)
-        if link is None or not link.endpoint.open:
-            on_reply(None)
-            return
-
-        handler, handler_cost = self.pool.acquire() if use_handler \
-            else (None, 0.0)
-        req_id = self._next_req_id()
-        message = Message(kind=kind, req_id=req_id, origin=self.name,
-                          user=self.user, payload=payload,
-                          route=list(route), final_dest=dest,
-                          broadcast=broadcast)
-
-        def timed_out() -> None:
-            pending = self._pending.pop(req_id, None)
-            if pending is None:
-                return
-            self.sim.cancel(pending.retry_timer)
-            self.pool.release(pending.handler)
-            pending.on_reply(None)
-
-        timer = self.sim.schedule(timeout_ms + self._cpu(handler_cost),
-                                  timed_out,
-                                  label="timeout %s#%d" % (kind.value,
-                                                           req_id))
-        self._pending[req_id] = _Pending(on_reply, timer, handler)
-
-        def transmit() -> None:
-            if req_id not in self._pending:
-                return
-            try:
-                self._send_on_link(link, message)
-            except ConnectionClosedError:
-                timed_out_now = self._pending.pop(req_id, None)
-                if timed_out_now is not None:
-                    self.sim.cancel(timed_out_now.timer)
-                    self.sim.cancel(timed_out_now.retry_timer)
-                    self.pool.release(timed_out_now.handler)
-                    timed_out_now.on_reply(None)
-
-        if handler_cost:
-            self.sim.schedule(self._cpu(handler_cost), transmit,
-                              label="handler %s#%d" % (kind.value, req_id))
-        else:
-            transmit()
-
-        # Datagrams give no delivery guarantee once the endpoint's own
-        # ARQ budget is spent, so side-effecting requests carry an
-        # LPM-level at-least-once retransmission; the receiving LPM's
-        # exactly-once cache (see ``_note_request_started``) keeps the
-        # end-to-end semantics exactly-once.  The retry period spans a
-        # full endpoint ARQ window so it only fires when the transport
-        # genuinely gave up (or the reply itself was lost).
-        if self.config.transport == "datagram" and broadcast is None \
-                and kind in _RETRIED_KINDS:
-            self._arm_request_retry(req_id, next_hop, message)
-
-    def _arm_request_retry(self, req_id: int, next_hop: str,
-                           message: Message) -> None:
-        pending = self._pending.get(req_id)
-        if pending is None:
-            return
-        interval = self.config.datagram_rto_ms * \
-            (self.config.datagram_max_retries + 1)
-        pending.retry_timer = self.sim.schedule(
-            interval, self._retry_request, req_id, next_hop, message,
-            label="request retry %s#%d" % (message.kind.value, req_id))
-
-    def _retry_request(self, req_id: int, next_hop: str,
-                       message: Message) -> None:
-        pending = self._pending.get(req_id)
-        if pending is None:
-            return
-        pending.retry_timer = None
-        PERF.requests_retransmitted += 1
-        link = self.siblings.get(next_hop)
-        if link is not None and link.endpoint.open:
-            try:
-                self._send_on_link(link, message)
-            except ConnectionClosedError:
-                pass
-            self._arm_request_retry(req_id, next_hop, message)
-            return
-
-        # The endpoint died (ARQ exhaustion under loss); re-introduce
-        # and resend.  A genuinely dead peer fails the introduction too,
-        # and the request then dies by its ordinary timeout.
-        def reconnected(relink) -> None:
-            if req_id not in self._pending:
-                return
-            if relink is not None and relink.endpoint.open:
-                try:
-                    self._send_on_link(relink, message)
-                except ConnectionClosedError:
-                    pass
-            self._arm_request_retry(req_id, next_hop, message)
-
-        self.ensure_sibling(next_hop).then(reconnected)
-
-    def _route_send(self, message: Message) -> None:
-        """Send an already-addressed reply/notice along its route."""
-        next_hop = None
-        route = message.route
-        if self.name in route:
-            index = route.index(self.name)
-            if index + 1 < len(route):
-                next_hop = route[index + 1]
-        if next_hop is None:
-            next_hop = message.final_dest
-        link = self.siblings.get(next_hop)
-        if link is None or not link.endpoint.open:
-            return
-        try:
-            self._send_on_link(link, message)
-        except ConnectionClosedError:
-            pass
-
-    # ==================================================================
-    # The kernel socket
-    # ==================================================================
-
-    def _on_kernel_message(self, kmsg: KernelMessage) -> None:
-        if not self.is_running():
-            return
-        gpid = self.gpid_of(kmsg.pid)
-        self._trace(TraceEventType.KERNEL_MESSAGE, gpid=gpid,
-                    event=kmsg.event.value)
-        trace_type = _KERNEL_TO_TRACE[kmsg.event]
-        self._trace(trace_type, gpid=gpid, **dict(kmsg.details))
-        record = self.records.get(kmsg.pid)
-        if kmsg.event is KernelEvent.FORK:
-            if kmsg.pid not in self.records and \
-                    kmsg.command not in INFRA_COMMANDS:
-                parent_gpid = self.gpid_of(kmsg.ppid) \
-                    if kmsg.ppid in self.records else None
-                self.records[kmsg.pid] = ProcessRecord(
-                    gpid=gpid, parent=parent_gpid, user=self.user,
-                    command=kmsg.command, state="running",
-                    start_ms=kmsg.timestamp_ms)
-        elif record is not None:
-            if kmsg.event is KernelEvent.EXEC:
-                record.command = kmsg.details.get("command", record.command)
-            elif kmsg.event is KernelEvent.EXIT:
-                record.state = "exited"
-                record.end_ms = kmsg.timestamp_ms
-                record.exit_status = kmsg.details.get("status")
-                if "rusage" in kmsg.details:
-                    record.rusage = dict(kmsg.details["rusage"])
-                self._arm_ttl()
-            elif kmsg.event is KernelEvent.STOPPED:
-                record.state = "stopped"
-            elif kmsg.event is KernelEvent.CONTINUED:
-                record.state = "running"
-
-    # ==================================================================
-    # Local process management
-    # ==================================================================
-
-    def create_local_process(self, command: str, args=(), program_spec=None,
-                             parent: Optional[GlobalPid] = None,
-                             foreground: bool = True):
-        """Create (and adopt) a user process with this LPM as creation
-        server; returns the kernel process."""
-        program = build_program(program_spec)
-        proc = self.host.kernel.spawn(self.uid, command, tuple(args),
-                                      program=program, ppid=self.proc.pid,
-                                      foreground=foreground)
-        self.host.kernel.adopt(self.uid, proc.pid, self.trace_flags)
-        self.records[proc.pid] = ProcessRecord(
-            gpid=self.gpid_of(proc.pid), parent=parent, user=self.user,
-            command=command, state=_STATE_NAMES[proc.state],
-            start_ms=proc.start_ms, foreground=foreground)
-        self._trace(TraceEventType.PROCESS_CREATED,
-                    gpid=self.gpid_of(proc.pid), command=command)
-        self._cancel_ttl()
-        return proc
-
-    def adopt_process(self, pid: int) -> List[int]:
-        """Adopt an existing process and its live descendants
-        ("Adoption allows the LPM to keep track of a process and its
-        descendants", section 4).  Returns the pids adopted."""
-        kernel = self.host.kernel
-        adopted = []
-        stack = [pid]
-        while stack:
-            current = stack.pop()
-            proc = kernel.adopt(self.uid, current, self.trace_flags)
-            if current not in self.records:
-                parent_gpid = self.gpid_of(proc.ppid) \
-                    if proc.ppid in self.records else None
-                self.records[current] = ProcessRecord(
-                    gpid=self.gpid_of(current), parent=parent_gpid,
-                    user=self.user, command=proc.command,
-                    state=_STATE_NAMES[proc.state], start_ms=proc.start_ms,
-                    foreground=proc.foreground)
-            self._trace(TraceEventType.ADOPTED, gpid=self.gpid_of(current))
-            adopted.append(current)
-            stack.extend(child.pid for child in kernel.procs.children_of(
-                current) if child.alive)
-        self._cancel_ttl()
-        return adopted
-
-    def refresh_records(self) -> None:
-        """Re-read local PCBs (the LPM has ptrace access) so a snapshot
-        reflects states the delayed kernel messages have not delivered
-        yet."""
-        for pid, record in self.records.items():
-            proc = self.host.kernel.procs.find(pid)
-            if proc is None:
-                if record.state != "exited":
-                    record.state = "exited"
-                continue
-            record.state = _STATE_NAMES[proc.state]
-            record.foreground = proc.foreground
-            if proc.end_ms is not None:
-                record.end_ms = proc.end_ms
-                record.exit_status = proc.exit_status
-            record.rusage = {"utime_ms": proc.rusage.utime_ms,
-                             "forks": proc.rusage.forks,
-                             "signals": proc.rusage.signals_received}
-            # The LPM reads the descriptor table straight from the PCB
-            # (ptrace access), feeding the section 7 files/fd tools.
-            record.open_files = [
-                {"fd": entry.fd, "path": entry.path, "mode": entry.mode,
-                 "opened_ms": entry.opened_ms}
-                for entry in sorted(proc.fd_table.values(),
-                                    key=lambda e: e.fd)]
-            record.closed_files = [
-                {"path": entry.path, "mode": entry.mode,
-                 "opened_ms": entry.opened_ms,
-                 "closed_ms": entry.closed_ms}
-                for entry in proc.closed_files]
-
-    def local_records(self, what: str = "snapshot") -> List[dict]:
-        """Serialised record list for a gather."""
-        self.refresh_records()
-        records = list(self.records.values())
-        if what == "rstats":
-            records = [r for r in records if r.exited]
-        return [record.to_dict() for record in records]
-
-    # ==================================================================
-    # Gather (snapshot / rstats) — the graph-covering collection
-    # ==================================================================
-
-    def start_gather(self, what: str,
-                     reply_fn: Callable[[dict], None],
-                     visited: Optional[List[str]] = None,
-                     broadcast=None, timeout_ms: Optional[float] = None
-                     ) -> None:
-        """Collect records from this LPM and, recursively, from every
-        sibling not yet visited.  ``reply_fn`` receives a dict with
-        ``records``, ``paths`` (host -> overlay path from here) and
-        ``missing`` (hosts that could not answer)."""
-        op = _GatherOp(what, reply_fn)
-        if broadcast is None:
-            broadcast = self.broadcast.stamp()
-        visited = list(visited or [])
-        if self.name not in visited:
-            visited.append(self.name)
-        targets = [peer for peer in self.authenticated_siblings()
-                   if peer not in visited]
-        visited_for_children = visited + targets
-
-        collect_cost = self._cpu(
-            self.cost.snapshot_record_ms * max(len(self.records), 1))
-        if timeout_ms is None:
-            timeout_ms = self.config.request_timeout_ms
-
-        def collected() -> None:
-            op.local_records = self.local_records(what)
-            op.outstanding = len(targets)
-            if not targets:
-                self._finish_gather(op)
-                return
-            for peer in targets:
-                self.send_request(
-                    peer, MsgKind.GATHER,
-                    {"what": what, "visited": visited_for_children},
-                    lambda reply, peer=peer: self._gather_child_reply(
-                        op, peer, reply),
-                    timeout_ms=timeout_ms, broadcast=broadcast)
-
-        self.sim.schedule(collect_cost, collected,
-                          label="gather collect %s" % (self.name,))
-
-    def _gather_child_reply(self, op: _GatherOp, peer: str,
-                            reply: Optional[Message]) -> None:
-        if op.finished:
-            return
-        op.outstanding -= 1
-        if reply is None or not reply.payload.get("ok", True):
-            op.missing.append(peer)
-        else:
-            op.merges_pending += 1
-            merge_cost = self._cpu_occupy(self.cost.snapshot_merge_ms)
-            self.sim.schedule(merge_cost, self._gather_merged, op,
-                              reply.payload,
-                              label="gather merge %s<-%s" % (self.name,
-                                                             peer))
-            return
-        if op.complete:
-            self._finish_gather(op)
-
-    def _gather_merged(self, op: _GatherOp, payload: dict) -> None:
-        if op.finished:
-            return
-        op.merges_pending -= 1
-        op.child_replies.append(payload)
-        if op.complete:
-            self._finish_gather(op)
-
-    def _finish_gather(self, op: _GatherOp) -> None:
-        if op.finished:
-            return
-        op.finished = True
-        records = list(op.local_records)
-        paths = {self.name: [self.name]}
-        missing = list(op.missing)
-        for child in op.child_replies:
-            records.extend(child.get("records", []))
-            for host, path in child.get("paths", {}).items():
-                paths.setdefault(host, [self.name] + list(path))
-            missing.extend(child.get("missing", []))
-        # The assembled paths teach this LPM routes to distant hosts
-        # (section 4: replies carry the source-destination route).
-        for host, path in paths.items():
-            if len(path) > 2 and self.routes.learn(list(path)):
-                self._trace(TraceEventType.ROUTE_LEARNED, dest=host,
-                            route=list(path))
-        op.reply_fn({"ok": True, "records": records, "paths": paths,
-                     "missing": missing})
-
-    def _handle_gather(self, message: Message, from_host: str) -> None:
-        # Duplicate-request suppression by signed timestamp (section 4).
-        if not self.broadcast.should_accept(message.broadcast,
-                                            hops=len(message.route)):
-            self._trace(TraceEventType.BROADCAST_DUPLICATE,
-                        origin=message.origin)
-            reply = message.make_reply(MsgKind.GATHER_REPLY, self.name,
-                                       {"ok": True, "records": [],
-                                        "paths": {}, "missing": [],
-                                        "duplicate": True})
-            self._route_send(reply)
-            return
-        self.broadcast.forwards += 1
-        self._trace(TraceEventType.BROADCAST_FORWARDED,
-                    origin=message.origin)
-
-        def finished(result: dict) -> None:
-            reply = message.make_reply(MsgKind.GATHER_REPLY, self.name,
-                                       result)
-            self._route_send(reply)
-
-        self.start_gather(message.payload.get("what", "snapshot"),
-                          finished,
-                          visited=message.payload.get("visited", []),
-                          broadcast=message.broadcast)
-
     # ==================================================================
     # Control and creation requests from siblings
     # ==================================================================
-
-    def _note_request_started(self, message: Message) -> bool:
-        """Exactly-once guard for side-effecting sibling requests.
-
-        Returns True when this request was already executed (the cached
-        reply is re-sent — the client's retransmission means the first
-        reply was lost) or is still executing (the duplicate is dropped;
-        the original's reply is on its way).  Otherwise records the
-        request as in progress and returns False.  The payload is
-        compared too, so a fresh request that happens to collide on
-        (origin, req_id) — e.g. after an origin restart — is never
-        answered from the cache.
-        """
-        key = (message.origin, message.user, message.req_id)
-        cached = self._done_requests.get(key)
-        if cached is not None and cached[0] is message.kind \
-                and cached[1] == message.payload:
-            PERF.requests_deduplicated += 1
-            result = cached[2]
-            if result is not _REQUEST_PENDING:
-                reply = message.make_reply(
-                    self._ack_kind_for(message.kind), self.name, result)
-                self._route_send(reply)
-            return True
-        self._done_requests.add(
-            key, (message.kind, message.payload, _REQUEST_PENDING))
-        return False
-
-    def _note_request_done(self, message: Message, result: dict) -> None:
-        self._done_requests.add(
-            (message.origin, message.user, message.req_id),
-            (message.kind, message.payload, result))
 
     def _apply_control(self, pid: int, action_name: str) -> dict:
         try:
@@ -1028,16 +333,16 @@ class LocalProcessManager:
                 "host": self.name}
 
     def _handle_control(self, message: Message) -> None:
-        if self._note_request_started(message):
+        if self.rpc.note_request_started(message):
             return
 
         def acted() -> None:
             result = self._apply_control(message.payload["pid"],
                                          message.payload["action"])
-            self._note_request_done(message, result)
+            self.rpc.note_request_done(message, result)
             reply = message.make_reply(MsgKind.CONTROL_ACK, self.name,
                                        result)
-            self._route_send(reply)
+            self.router.route_send(reply)
 
         # signal delivery plus the kernel's confirmation (section 6).
         self.sim.schedule(self._cpu(self.cost.signal_ms), acted,
@@ -1045,7 +350,7 @@ class LocalProcessManager:
                               "action"),))
 
     def _handle_create(self, message: Message) -> None:
-        if self._note_request_started(message):
+        if self.rpc.note_request_started(message):
             return
         payload = message.payload
 
@@ -1061,10 +366,10 @@ class LocalProcessManager:
                 result = {"ok": False, "error": str(exc)}
             else:
                 result = {"ok": True, "host": self.name, "pid": proc.pid}
-            self._note_request_done(message, result)
+            self.rpc.note_request_done(message, result)
             reply = message.make_reply(MsgKind.CREATE_ACK, self.name,
                                        result)
-            self._route_send(reply)
+            self.router.route_send(reply)
 
         # The LPM is the ready process-creation server: a cheap fork.
         self.sim.schedule(self._cpu(self.cost.server_fork_ms), created,
@@ -1083,7 +388,7 @@ class LocalProcessManager:
                 MsgKind.LOCATE_ACK, self.name,
                 {"ok": True, "host": self.name, "pid": target,
                  "state": self.records[target].state})
-            self._route_send(reply)
+            self.router.route_send(reply)
             return
         # Flood onward (graph covering), extending the recorded route.
         # Loop suppression is the signed-timestamp seen-set alone, as in
@@ -1098,234 +403,12 @@ class LocalProcessManager:
                              broadcast=message.broadcast)
             link = self.siblings[peer]
             try:
-                self._send_on_link(link, onward, forwarding=True)
+                self.transport.send_on_link(link, onward, forwarding=True)
                 self.broadcast.forwards += 1
                 self._trace(TraceEventType.BROADCAST_FORWARDED,
                             origin=message.origin)
             except ConnectionClosedError:
                 continue
-
-    # ==================================================================
-    # Tool requests (the subroutine library's server side)
-    # ==================================================================
-
-    def _tool_on_message(self, message: Message, endpoint) -> None:
-        if not self.is_running():
-            return
-        self._trace(TraceEventType.TOOL_REQUEST, kind=message.kind.value)
-        handler = getattr(self, "_tool_" + message.kind.value, None)
-        if handler is None:
-            self._tool_reply(endpoint, message,
-                             {"ok": False, "error": "unknown request"})
-            return
-        handler(message, endpoint)
-
-    def _tool_reply(self, endpoint, request: Message, payload: dict) -> None:
-        if not endpoint.open:
-            return
-        reply = Message(kind=MsgKind.TOOL_REPLY,
-                        req_id=request.req_id, origin=self.name,
-                        user=self.user, payload=payload,
-                        reply_to=request.req_id)
-        try:
-            endpoint.send(reply, nbytes=message_size_bytes(reply),
-                          extra_delay_ms=self._cpu(self.cost.tool_ipc_ms))
-        except ConnectionClosedError:
-            pass
-
-    def _tool_tool_ping(self, message: Message, endpoint) -> None:
-        self._tool_reply(endpoint, message,
-                         {"ok": True, "host": self.name,
-                          "time_ms": self.sim.now_ms})
-
-    def _tool_tool_session_info(self, message: Message, endpoint) -> None:
-        self._tool_reply(endpoint, message, {
-            "ok": True,
-            "host": self.name,
-            "user": self.user,
-            "ccs_host": self.ccs_host,
-            "siblings": self.authenticated_siblings(),
-            "routes": {dest: self.routes.route_to(dest)
-                       for dest in self.routes.destinations()},
-            "endpoints": self.describe_endpoints(),
-            "recovery_state": self.recovery.state.value,
-            "handler_stats": {"spawned": self.pool.spawned,
-                              "reused": self.pool.reused,
-                              "peak_busy": self.pool.peak_busy},
-            "local_pids": sorted(self.records),
-        })
-
-    def _tool_tool_snapshot(self, message: Message, endpoint) -> None:
-        self.start_gather(
-            "snapshot",
-            lambda result: self._tool_reply(endpoint, message, result))
-
-    def _tool_tool_rstats(self, message: Message, endpoint) -> None:
-        self.start_gather(
-            "rstats",
-            lambda result: self._tool_reply(endpoint, message, result))
-
-    def _tool_tool_create(self, message: Message, endpoint) -> None:
-        payload = message.payload
-        target = payload.get("host", self.name)
-        if target == self.name:
-            def created() -> None:
-                parent = payload.get("parent")
-                parent_gpid = GlobalPid(parent[0], parent[1]) \
-                    if parent else None
-                try:
-                    proc = self.create_local_process(
-                        payload["command"], tuple(payload.get("args", ())),
-                        payload.get("program"), parent=parent_gpid,
-                        foreground=payload.get("foreground", True))
-                except ReproError as exc:
-                    self._tool_reply(endpoint, message,
-                                     {"ok": False, "error": str(exc)})
-                    return
-                self._tool_reply(endpoint, message,
-                                 {"ok": True, "host": self.name,
-                                  "pid": proc.pid})
-
-            cost = self._cpu(self.cost.fork_ms + self.cost.exec_ms
-                             + self.cost.adopt_ms)
-            self.sim.schedule(cost, created, label="local create")
-            return
-
-        def remote_ready(link) -> None:
-            if link is None:
-                self._tool_reply(endpoint, message,
-                                 {"ok": False,
-                                  "error": "cannot reach %s" % (target,)})
-                return
-            self.send_request(
-                target, MsgKind.CREATE,
-                {"command": payload["command"],
-                 "args": list(payload.get("args", ())),
-                 "program": payload.get("program"),
-                 "parent": payload.get("parent"),
-                 "foreground": payload.get("foreground", True)},
-                lambda reply: self._tool_reply(
-                    endpoint, message,
-                    reply.payload if reply is not None else
-                    {"ok": False, "error": "no response from %s"
-                                           % (target,)}))
-
-        self.ensure_sibling(target).then(remote_ready)
-
-    def _tool_tool_control(self, message: Message, endpoint) -> None:
-        payload = message.payload
-        target_host = payload["host"]
-        pid = payload["pid"]
-        action = payload["action"]
-        if target_host == self.name:
-            def acted() -> None:
-                self._tool_reply(endpoint, message,
-                                 self._apply_control(pid, action))
-
-            self.sim.schedule(self._cpu(self.cost.signal_ms), acted,
-                              label="local control")
-            return
-
-        def send_control(allow_retry: bool = True) -> None:
-            def on_reply(reply) -> None:
-                if reply is None:
-                    self._tool_reply(endpoint, message,
-                                     {"ok": False,
-                                      "error": "no response from %s"
-                                               % (target_host,)})
-                    return
-                error = reply.payload.get("error", "")
-                if not reply.payload.get("ok") and "no route" in error \
-                        and allow_retry:
-                    # A stale cached route: forget it and fail over to
-                    # a direct channel, then retry once.
-                    self.routes.forget(target_host)
-
-                    def retried(link) -> None:
-                        if link is None:
-                            self._tool_reply(endpoint, message,
-                                             reply.payload)
-                        else:
-                            send_control(allow_retry=False)
-
-                    self.ensure_sibling(target_host).then(retried)
-                    return
-                self._tool_reply(endpoint, message, reply.payload)
-
-            self.send_request(target_host, MsgKind.CONTROL,
-                              {"pid": pid, "action": action}, on_reply)
-
-        if target_host in self.siblings or \
-                self.routes.route_to(target_host) is not None:
-            send_control()
-            return
-
-        # Last resort: locate the process by broadcast, learn the route
-        # from the reply, then deliver the action.
-        def located(found: Optional[Message]) -> None:
-            if found is None:
-                # Try a direct channel before giving up (the process may
-                # be on a host we simply never talked to).
-                def fallback(link) -> None:
-                    if link is None:
-                        self._tool_reply(endpoint, message,
-                                         {"ok": False,
-                                          "error": "cannot locate %s on %s"
-                                                   % (pid, target_host)})
-                    else:
-                        send_control()
-
-                self.ensure_sibling(target_host).then(fallback)
-                return
-            send_control()
-
-        self.locate(target_host, pid, located)
-
-    def _tool_tool_adopt(self, message: Message, endpoint) -> None:
-        payload = message.payload
-        target_host = payload.get("host", self.name)
-        if target_host != self.name:
-            self._tool_reply(endpoint, message,
-                             {"ok": False,
-                              "error": "adoption is a local operation"})
-            return
-
-        def adopted() -> None:
-            try:
-                pids = self.adopt_process(payload["pid"])
-            except ReproError as exc:
-                self._tool_reply(endpoint, message,
-                                 {"ok": False, "error": "%s: %s"
-                                  % (type(exc).__name__, exc)})
-                return
-            self._tool_reply(endpoint, message,
-                             {"ok": True, "adopted": pids})
-
-        self.sim.schedule(self._cpu(self.cost.adopt_ms), adopted,
-                          label="adopt")
-
-    def _tool_tool_set_trace(self, message: Message, endpoint) -> None:
-        payload = message.payload
-        try:
-            flags = trace_flags_from_names(payload.get("flags", []))
-        except KeyError as exc:
-            self._tool_reply(endpoint, message,
-                             {"ok": False,
-                              "error": "unknown trace flag %s" % (exc,)})
-            return
-        pid = payload.get("pid")
-        if pid is None:
-            # Session default for future adoptions on this LPM.
-            self.trace_flags = flags
-            self._tool_reply(endpoint, message, {"ok": True, "scope": "lpm"})
-            return
-        try:
-            self.host.kernel.set_trace_flags(self.uid, pid, flags)
-        except ReproError as exc:
-            self._tool_reply(endpoint, message,
-                             {"ok": False, "error": str(exc)})
-            return
-        self._tool_reply(endpoint, message, {"ok": True, "scope": pid})
 
     # ==================================================================
     # Locate by broadcast
@@ -1337,7 +420,7 @@ class LocalProcessManager:
         """Broadcast a LOCATE over the sibling graph; the owner answers
         along the recorded route."""
         stamp = self.broadcast.stamp()
-        req_id = self._next_req_id()
+        req_id = self.rpc.next_req_id()
         resolved = Deferred()
 
         def on_ack(reply: Optional[Message]) -> None:
@@ -1346,11 +429,10 @@ class LocalProcessManager:
 
         timer = self.sim.schedule(timeout_ms, on_ack, None,
                                   label="locate timeout")
-        self._pending[req_id] = _Pending(on_ack, timer, None)
+        self.rpc.register(req_id, on_ack, timer)
         peers = self.authenticated_siblings()
         if not peers:
-            self._pending.pop(req_id, None)
-            self.sim.cancel(timer)
+            self.rpc.cancel(req_id)
             on_ack(None)
             return
         self._trace(TraceEventType.BROADCAST_SENT, what="locate")
@@ -1360,7 +442,7 @@ class LocalProcessManager:
                              payload={"host": host, "pid": pid},
                              route=[self.name, peer], broadcast=stamp)
             try:
-                self._send_on_link(self.siblings[peer], locate)
+                self.transport.send_on_link(self.siblings[peer], locate)
             except ConnectionClosedError:
                 continue
 
@@ -1416,19 +498,12 @@ class LocalProcessManager:
         self.alive = False
         self.recovery.cancel_timers()
         self._cancel_ttl()
-        for pending in list(self._pending.values()):
-            self.sim.cancel(pending.timer)
-            self.sim.cancel(pending.retry_timer)
-        self._pending.clear()
-        for link in list(self.siblings.values()):
-            if link.endpoint.open:
-                link.endpoint.close()
-        self.siblings.clear()
+        self.rpc.cancel_all()
+        self.transport.shutdown()
         for endpoint in list(self.tools):
             if endpoint.open:
                 endpoint.close()
         self.tools.clear()
-        self.dgram.unbind()
         if not self.host.kernel.halted:
             self.host.kernel.unregister_lpm(self.uid)
             self.host.node.unlisten(self.accept_service)

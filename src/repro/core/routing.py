@@ -8,12 +8,17 @@ attention is currently devoted to finding minimum hop routes to nodes."
 
 The cache stores, per destination host, the *first* route learned — not
 the shortest — faithfully reproducing that design choice.  Routes are
-invalidated when a connection they rely on breaks.
+invalidated when a connection they rely on breaks; a secondary index
+from via-host to the destinations routed through it makes that
+invalidation O(routes-through-host) instead of a scan of the whole
+cache on every link loss.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
+
+from ..perf import PERF
 
 
 class RouteCache:
@@ -22,8 +27,24 @@ class RouteCache:
     def __init__(self, self_host: str) -> None:
         self.self_host = self_host
         self._routes: Dict[str, List[str]] = {}
+        #: hop host -> {dest: None} for every cached route passing
+        #: through (or ending at) that hop; dict-valued for insertion
+        #: order, mirroring ``_routes`` order per hop.
+        self._via: Dict[str, Dict[str, None]] = {}
         self.learned = 0
         self.invalidated = 0
+
+    def _index(self, dest: str, route: List[str]) -> None:
+        for hop in route[1:]:
+            self._via.setdefault(hop, {})[dest] = None
+
+    def _unindex(self, dest: str, route: List[str]) -> None:
+        for hop in route[1:]:
+            entry = self._via.get(hop)
+            if entry is not None:
+                entry.pop(dest, None)
+                if not entry:
+                    del self._via[hop]
 
     def learn(self, path: List[str]) -> bool:
         """Record a path (``[self, ..., dest]``).  First route wins, as
@@ -33,7 +54,9 @@ class RouteCache:
         dest = path[-1]
         if dest == self.self_host or dest in self._routes:
             return False
-        self._routes[dest] = list(path)
+        route = list(path)
+        self._routes[dest] = route
+        self._index(dest, route)
         self.learned += 1
         return True
 
@@ -50,15 +73,20 @@ class RouteCache:
         return route[1] if route else None
 
     def forget(self, dest: str) -> None:
-        self._routes.pop(dest, None)
+        route = self._routes.pop(dest, None)
+        if route is not None:
+            self._unindex(dest, route)
 
     def invalidate_via(self, broken_peer: str) -> List[str]:
         """Drop every route whose first hop (or any hop) is a peer we
-        lost contact with; returns the destinations dropped."""
-        dropped = [dest for dest, route in self._routes.items()
-                   if broken_peer in route[1:]]
+        lost contact with; returns the destinations dropped.  Only the
+        via-indexed routes through ``broken_peer`` are touched, not the
+        whole cache."""
+        dropped = list(self._via.get(broken_peer, ()))
         for dest in dropped:
-            del self._routes[dest]
+            PERF.route_invalidation_scans += 1
+            route = self._routes.pop(dest)
+            self._unindex(dest, route)
             self.invalidated += 1
         return dropped
 

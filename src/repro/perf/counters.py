@@ -49,13 +49,34 @@ Event queue (``repro.netsim``):
 ``heap_compactions``
     Times an event queue rebuilt itself to shed cancelled entries.
 
-Exactly-once request layer (``repro.core.lpm``):
+Exactly-once request layer (``repro.core.rpc``):
 
 ``requests_retransmitted``
     Datagram-transport requests re-sent by the LPM layer after the ARQ
     gave up or a reply went missing.
 ``requests_deduplicated``
     Duplicate requests absorbed by the server-side exactly-once cache.
+
+Gather merge (``repro.core.gather``):
+
+``gather_merges``
+    Gather operations finished (one k-way merge each).
+``gather_records_merged``
+    Records emitted by those merges (each record is touched once per
+    gather level, the linear-merge property).
+
+Routing (``repro.core.routing``):
+
+``route_invalidation_scans``
+    Route entries examined while invalidating after a link loss.  With
+    the via-host index this counts only routes actually through the
+    lost peer; the old full-cache scan examined every cached route.
+
+Load average (``repro.unixsim.loadavg``):
+
+``loadavg_idle_skips``
+    Lazy integrations skipped because the average already equals the
+    runnable count (idle or fully-converged hosts), avoiding an exp().
 """
 
 from __future__ import annotations
@@ -76,6 +97,10 @@ _COUNTERS = (
     "heap_compactions",
     "requests_retransmitted",
     "requests_deduplicated",
+    "gather_merges",
+    "gather_records_merged",
+    "route_invalidation_scans",
+    "loadavg_idle_skips",
 )
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from ..perf import PERF
+
 
 class LoadAverage:
     """Exponentially damped run-queue average."""
@@ -34,6 +36,13 @@ class LoadAverage:
     def _integrate_to(self, now_ms: float) -> None:
         dt = now_ms - self._last_ms
         if dt > 0:
+            if self._value == self._last_n:
+                # Steady state — an idle host (la == n == 0) or one that
+                # fully converged: la' = n + (la - n)*decay = la exactly,
+                # so skip the exp() instead of recomputing a no-op.
+                PERF.loadavg_idle_skips += 1
+                self._last_ms = now_ms
+                return
             decay = math.exp(-dt / self.tau_ms)
             self._value = self._last_n + (self._value - self._last_n) * decay
             self._last_ms = now_ms

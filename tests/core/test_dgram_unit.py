@@ -96,3 +96,29 @@ def test_unintroduced_data_rejected(pair):
          "sig": _sign(beta.secret, "gamma", 1), "payload": "sneaky"})
     world.run_for(1_000.0)
     assert beta.dgram.rejected == rejected_before + 1
+
+
+def test_keepalive_offsets_are_deterministic_and_bounded(pair):
+    world, alpha, beta = pair
+    offset = alpha.dgram._keepalive_offset_ms("beta")
+    assert 0.0 <= offset < alpha.config.datagram_keepalive_ms
+    # Pure function of stable session identifiers: stable across calls.
+    assert alpha.dgram._keepalive_offset_ms("beta") == offset
+    # The two directions of one link hash differently (different
+    # name/peer order), so their pings do not burst together.
+    assert beta.dgram._keepalive_offset_ms("alpha") != offset
+
+
+def test_keepalive_offsets_spread_across_peers(pair):
+    world, alpha, beta = pair
+    offsets = {alpha.dgram._keepalive_offset_ms("h%02d" % i)
+               for i in range(16)}
+    assert len(offsets) == 16  # distinct per endpoint
+
+
+def test_jittered_keepalive_still_pings_idle_links(pair):
+    world, alpha, beta = pair
+    before = alpha.dgram.pings_sent
+    # One full keepalive period plus the worst-case jitter window.
+    world.run_for(2 * alpha.config.datagram_keepalive_ms)
+    assert alpha.dgram.pings_sent > before

@@ -1,0 +1,97 @@
+"""Tests for the gather layer's k-way record merge (repro.core.gather):
+the merged output must equal the old concatenate-then-sort result, and
+the bookkeeping (paths, missing order, perf counters) must survive the
+rewrite."""
+
+import heapq
+
+from repro import PPMClient, spinner_spec
+from repro.core.gather import GatherEngine, GatherOp, _record_key
+from repro.perf import PERF
+
+from .conftest import build_world, lpm_of
+
+
+def _lpm():
+    world = build_world()
+    PPMClient(world, "lfc", "alpha").connect()
+    return world, lpm_of(world, "alpha")
+
+
+def test_kway_merge_equals_sorted_concatenation():
+    _world, alpha = _lpm()
+    engine = GatherEngine(alpha)
+    results = []
+    op = GatherOp("snapshot", results.append)
+    op.paths[alpha.name] = [alpha.name]
+    op.local_run = [{"host": "alpha", "pid": p} for p in (3, 9, 12)]
+    op.runs = [
+        [{"host": "beta", "pid": p} for p in (1, 2, 50)],
+        [{"host": "delta", "pid": 7}, {"host": "zeta", "pid": 1}],
+        [],
+        [{"host": "beta", "pid": 51}, {"host": "gamma", "pid": 4}],
+    ]
+    concatenated = list(op.local_run)
+    for run in op.runs:
+        concatenated.extend(run)
+    engine._finish(op)
+    (result,) = results
+    assert result["ok"]
+    assert result["records"] == sorted(concatenated, key=_record_key)
+    # heapq.merge over sorted runs is what _finish promises.
+    assert result["records"] == list(
+        heapq.merge(*( [op.local_run] + op.runs ), key=_record_key))
+
+
+def test_merge_counts_work_in_perf_counters():
+    _world, alpha = _lpm()
+    engine = GatherEngine(alpha)
+    op = GatherOp("snapshot", lambda result: None)
+    op.paths[alpha.name] = [alpha.name]
+    op.local_run = [{"host": "alpha", "pid": 1}]
+    op.runs = [[{"host": "beta", "pid": 2}, {"host": "beta", "pid": 3}]]
+    PERF.reset()
+    engine._finish(op)
+    assert PERF.gather_merges == 1
+    assert PERF.gather_records_merged == 3
+    # Finishing is idempotent: a late child reply cannot double-count.
+    engine._finish(op)
+    assert PERF.gather_merges == 1
+
+
+def test_missing_concatenation_order_preserved():
+    _world, alpha = _lpm()
+    engine = GatherEngine(alpha)
+    results = []
+    op = GatherOp("snapshot", results.append)
+    op.paths[alpha.name] = [alpha.name]
+    op.missing = ["timedout-1", "timedout-2"]
+    op.child_missing = ["deep-1", "deep-2"]
+    engine._finish(op)
+    # Own timeouts first, then children's reports in merge order —
+    # exactly the old accumulation order.
+    assert results[0]["missing"] == \
+        ["timedout-1", "timedout-2", "deep-1", "deep-2"]
+
+
+def test_end_to_end_gather_is_gpid_sorted():
+    world = build_world()
+    client = PPMClient(world, "lfc", "alpha").connect()
+    for host in ("beta", "gamma", "delta"):
+        client.create_process("job-%s" % host, host=host,
+                              program=spinner_spec(None))
+    alpha = lpm_of(world, "alpha")
+    results = []
+    PERF.reset()
+    alpha.start_gather("snapshot", results.append)
+    world.run_until_true(lambda: bool(results), timeout_ms=60_000.0)
+    result = results[0]
+    assert result["ok"] and result["missing"] == []
+    records = result["records"]
+    assert {r["host"] for r in records} == {"beta", "gamma", "delta"}
+    assert records == sorted(records, key=_record_key)
+    # Every LPM in the gather tree performed exactly one merge.
+    assert PERF.gather_merges == 4
+    assert PERF.gather_records_merged >= len(records)
+    # The assembled paths taught alpha a path entry per answering host.
+    assert set(result["paths"]) == {"alpha", "beta", "gamma", "delta"}

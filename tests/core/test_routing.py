@@ -67,3 +67,58 @@ def test_destinations_sorted():
     cache.learn(["alpha", "zeta"])
     cache.learn(["alpha", "beta"])
     assert cache.destinations() == ["beta", "zeta"]
+
+
+def test_via_index_scans_only_routes_through_peer():
+    from repro.perf import PERF
+
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta", "gamma"])
+    cache.learn(["alpha", "beta", "delta"])
+    cache.learn(["alpha", "epsilon", "zeta"])
+    PERF.reset()
+    dropped = cache.invalidate_via("beta")
+    # Only the two routes through beta were examined, not all three.
+    assert PERF.route_invalidation_scans == 2
+    assert dropped == ["gamma", "delta"]  # insertion order
+    assert cache.route_to("zeta") == ["alpha", "epsilon", "zeta"]
+
+
+def test_invalidate_via_unknown_peer_is_free():
+    from repro.perf import PERF
+
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta", "gamma"])
+    PERF.reset()
+    assert cache.invalidate_via("nobody") == []
+    assert PERF.route_invalidation_scans == 0
+    assert cache.route_to("gamma") is not None
+
+
+def test_forget_unindexes_route():
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta", "gamma"])
+    cache.forget("gamma")
+    # The via index dropped the entry with the route: invalidating the
+    # hop later must not resurrect or double-count it.
+    assert cache.invalidate_via("beta") == []
+    assert cache.invalidated == 0
+
+
+def test_relearn_after_invalidate_reindexes():
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta", "gamma"])
+    cache.invalidate_via("beta")
+    assert cache.learn(["alpha", "delta", "gamma"])
+    assert cache.invalidate_via("beta") == []
+    assert cache.invalidate_via("delta") == ["gamma"]
+    assert cache.route_to("gamma") is None
+
+
+def test_index_covers_every_hop_of_the_route():
+    cache = RouteCache("alpha")
+    cache.learn(["alpha", "beta", "gamma", "delta"])
+    # Losing the middle hop kills the route too, exactly as the old
+    # full-scan ``broken_peer in route[1:]`` test did.
+    assert cache.invalidate_via("gamma") == ["delta"]
+    assert cache.route_to("delta") is None

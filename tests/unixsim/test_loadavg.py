@@ -68,3 +68,39 @@ def test_force_pins_value(world, alpha):
     # Decays back toward the true runnable count afterwards.
     world.run_for(600_000.0)
     assert alpha.load_average() < 0.1
+
+
+def test_idle_fast_path_skips_exp_without_changing_value(world, alpha):
+    from repro.perf import PERF
+
+    world.run_for(60_000.0)
+    assert alpha.load_average() == 0.0  # truly idle: la == n == 0
+    PERF.reset()
+    world.run_for(60_000.0)
+    value = alpha.load_average()
+    assert value == 0.0
+    # Every lazy integration on the idle host took the steady-state
+    # short cut (la' = n + (la-n)*decay == la when la == n).
+    assert PERF.loadavg_idle_skips >= 1
+
+
+def test_fast_path_is_exact_not_approximate():
+    from repro.perf import PERF
+    from repro.unixsim.loadavg import LoadAverage
+
+    clock = [0.0]
+    runnable = [2]
+    la = LoadAverage(lambda: clock[0], lambda: runnable[0],
+                     tau_ms=1_000.0)
+    la.force(2.0)  # converged: la == n == 2
+    PERF.reset()
+    clock[0] = 5_000.0
+    assert la.value() == 2.0
+    assert PERF.loadavg_idle_skips == 1
+    # A change in the runnable count leaves the fast path.
+    runnable[0] = 0
+    la.note_change()
+    clock[0] = 10_000.0
+    before = PERF.loadavg_idle_skips
+    assert 0.0 < la.value() < 2.0  # genuine exponential decay resumed
+    assert PERF.loadavg_idle_skips == before

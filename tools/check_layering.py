@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Layering lint for the decomposed LPM.
+
+``repro.core.lpm`` used to be a god-class owning transport, RPC,
+routing, and gather machinery in one file.  That machinery now lives in
+dedicated layer modules, and this lint keeps the decomposition from
+eroding:
+
+1. ``lpm.py`` stays a coordinator: at most ``LPM_MAX_LINES`` lines.
+2. ``lpm.py`` imports only from its allowlist — in particular it must
+   never again import ``repro.netsim.stream`` or ``repro.core.dgram``
+   (sockets belong to the transport layer) or ``repro.core.routing``
+   (the route cache belongs to the router layer).
+3. The layer modules never import ``repro.core.lpm`` — the layering is
+   one-directional; layers talk to the LPM only through the instance
+   injected at construction.
+4. ``rpc`` / ``router`` / ``gather`` never import the socket layers
+   either; only ``transport`` touches streams and datagrams.
+
+Run from the repo root::
+
+    python tools/check_layering.py
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List, Sequence, Set
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORE = os.path.join(REPO_ROOT, "src", "repro", "core")
+CORE_PACKAGE = "repro.core"
+
+LPM_MAX_LINES = 600
+
+#: The modules extracted out of the god-class.  None may import lpm.
+LAYER_MODULES = ("transport", "rpc", "router", "gather",
+                 "processtable", "toolservice")
+
+#: Modules that must not touch the socket layers (transport owns them).
+SOCKET_FREE_MODULES = ("rpc", "router", "gather")
+SOCKET_LAYERS = ("repro.netsim.stream", "repro.core.dgram")
+
+#: Every import prefix lpm.py may use.  Anything else is the god-class
+#: growing back; move the code into the owning layer instead.
+LPM_ALLOWED_PREFIXES = (
+    "__future__",
+    "typing",
+    "repro.errors",
+    "repro.ids",
+    "repro.netsim.latency",
+    "repro.tracing.events",
+    "repro.unixsim.process",
+    "repro.util",
+    "repro.core.broadcast",
+    "repro.core.control",
+    "repro.core.dispatcher",
+    "repro.core.gather",
+    "repro.core.messages",
+    "repro.core.processtable",
+    "repro.core.recovery",
+    "repro.core.router",
+    "repro.core.rpc",
+    "repro.core.toolservice",
+    "repro.core.transport",
+)
+
+
+def module_imports(path: str, package: str) -> Set[str]:
+    """Absolute dotted names imported anywhere in the file.
+
+    Relative imports are resolved against ``package`` (the package the
+    file lives in).  ``from X import y`` contributes both ``X`` and
+    ``X.y`` so submodule imports are caught either way they are spelt.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    found: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = package.split(".")
+                kept = parts[:len(parts) - node.level + 1]
+                base = ".".join(kept)
+                if node.module:
+                    base = "%s.%s" % (base, node.module) if base \
+                        else node.module
+            else:
+                base = node.module or ""
+            if base:
+                found.add(base)
+            for alias in node.names:
+                found.add("%s.%s" % (base, alias.name) if base
+                          else alias.name)
+    return found
+
+
+def _matches(name: str, prefixes: Sequence[str]) -> bool:
+    return any(name == prefix or name.startswith(prefix + ".")
+               for prefix in prefixes)
+
+
+def check() -> List[str]:
+    errors: List[str] = []
+
+    # Rule 1: line cap on the coordinator.
+    lpm_path = os.path.join(CORE, "lpm.py")
+    with open(lpm_path, "r", encoding="utf-8") as handle:
+        n_lines = sum(1 for _ in handle)
+    if n_lines > LPM_MAX_LINES:
+        errors.append("lpm.py is %d lines (cap %d): the coordinator is "
+                      "growing back into a god-class" %
+                      (n_lines, LPM_MAX_LINES))
+
+    # Rule 2: lpm.py import allowlist.
+    for name in sorted(module_imports(lpm_path, CORE_PACKAGE)):
+        if not _matches(name, LPM_ALLOWED_PREFIXES):
+            errors.append("lpm.py imports %r, which is outside the "
+                          "coordinator allowlist" % (name,))
+
+    # Rules 3 and 4: the layers stay below the coordinator.
+    for module in LAYER_MODULES:
+        path = os.path.join(CORE, "%s.py" % module)
+        imports = module_imports(path, CORE_PACKAGE)
+        for name in sorted(imports):
+            if _matches(name, ("repro.core.lpm",)):
+                errors.append("%s.py imports %r: layers must not import "
+                              "upward into the coordinator" %
+                              (module, name))
+            if module in SOCKET_FREE_MODULES and \
+                    _matches(name, SOCKET_LAYERS):
+                errors.append("%s.py imports %r: only the transport "
+                              "layer may touch sockets" % (module, name))
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for error in errors:
+        print("layering: %s" % error)
+    if errors:
+        return 1
+    print("layering: ok (lpm.py and %d layer modules clean)" %
+          len(LAYER_MODULES))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
