@@ -1,6 +1,6 @@
 """Hot-path microbenchmarks, writing the repo's perf trajectory.
 
-Three scenarios cover the paths every experiment in the reproduction
+The scenarios cover the paths every experiment in the reproduction
 runs through:
 
 ``encode_throughput``
@@ -24,15 +24,27 @@ runs through:
     k-way ``heapq.merge`` pass over already-sorted runs, with
     deterministic record-touch counts for both.
 
+``stream_flood``
+    The stream-transport worst case: N back-to-back sends per circuit
+    across M circuits.  The old shape (one simulator event per
+    in-flight segment, reproduced inline with the exact arrival-time
+    arithmetic) against the batched per-circuit-direction delivery
+    timer, asserting the arrival times are byte-identical and
+    recording the event-queue push counts for both.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.runner [--smoke]
         [--label before|after] [--output BENCH_core.json]
+        [--budget-s SECONDS]
 
 Wall-clock and counter deltas are merged into ``BENCH_core.json`` at
 the repo root under the given label, so successive PRs accumulate a
 before/after trajectory.  ``--smoke`` shrinks every scenario so CI can
-assert the benchmarks still *run* without caring about timings.
+assert the benchmarks still *run* without caring about timings;
+``--budget-s`` additionally fails the run (exit status 2) when the
+summed measured wall time exceeds the budget, so a hot-path regression
+fails the build rather than slipping through.
 """
 
 from __future__ import annotations
@@ -49,7 +61,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
 from repro import PPMClient, PPMConfig, install, spinner_spec
 from repro.core.messages import Message, MsgKind
 from repro.core.wire import message_size_bytes
-from repro.netsim import HostClass
+from repro.netsim import HostClass, Network, Simulator, StreamConnection
 from repro.perf import PERF
 from repro.unixsim import World
 
@@ -58,8 +70,11 @@ _REPORTED = (
     "encodes_performed", "encode_cache_hits", "size_calls",
     "bytes_charged", "hmac_computed", "hmac_cache_hits",
     "dedup_checks", "dedup_entries_scanned", "dedup_entries_expired",
-    "events_run", "events_cancelled", "events_fastpath",
-    "heap_compactions", "gather_merges", "gather_records_merged",
+    "events_scheduled", "events_run", "events_cancelled",
+    "events_fastpath", "heap_compactions",
+    "gather_merges", "gather_records_merged",
+    "stream_batched_deliveries", "stream_segments_drained",
+    "stream_timer_rearms",
 )
 
 
@@ -235,6 +250,103 @@ def bench_gather_merge(smoke: bool = False) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Scenario 5: stream-transport flood — batched vs per-segment delivery
+# ----------------------------------------------------------------------
+
+def bench_stream_flood(smoke: bool = False) -> dict:
+    n_circuits = 2 if smoke else 8
+    sends = 50 if smoke else 1_000
+    group = 10 if smoke else 100   # sends sharing one arrival time
+    nbytes = 256
+
+    def extra_for(k: int) -> float:
+        # Every ``group`` sends step the extra delay, so arrivals form
+        # sends/group distinct instants per circuit: the drain loop and
+        # the timer re-arm both get exercised, not just one mega-batch.
+        return (k // group) * 10.0
+
+    def build():
+        sim = Simulator(seed=7)
+        net = Network(sim)
+        names = []
+        for i in range(n_circuits):
+            names += ["s%02d" % i, "r%02d" % i]
+        for name in names:
+            net.add_node(name)
+        net.ethernet(names)
+        return sim, net
+
+    def run() -> dict:
+        # --- live code: batched per-circuit-direction delivery -------
+        sim, net = build()
+        arrivals_batched = [[] for _ in range(n_circuits)]
+        endpoints = []
+        for i in range(n_circuits):
+            def acceptor(endpoint, payload, i=i):
+                endpoint.on_message = (
+                    lambda payload, ep, i=i:
+                    arrivals_batched[i].append(sim.now_ms))
+            net.node("r%02d" % i).listen("svc", acceptor)
+            StreamConnection.connect(net, "s%02d" % i, "r%02d" % i, "svc",
+                                     on_established=endpoints.append)
+        sim.run_until_idle()
+        assert len(endpoints) == n_circuits
+        t0 = sim.now_ms
+        base = PERF.snapshot()
+        start = time.perf_counter()
+        for endpoint in endpoints:
+            for k in range(sends):
+                endpoint.send(k, nbytes=nbytes,
+                              extra_delay_ms=extra_for(k))
+        sim.run_until_idle()
+        batched_wall_s = time.perf_counter() - start
+        delta = PERF.delta_since(base)
+        pushes_batched = delta["events_scheduled"]
+
+        # --- baseline: the seed's one-event-per-segment scheduler ----
+        # Reproduced inline with the exact arrival arithmetic the old
+        # ``transmit`` used (wire delay + extra, floored in-order), on a
+        # fresh simulator started at the same instant, so the arrival
+        # times must match float-for-float.
+        sim2, net2 = build()
+        sim2.clock.advance_to(t0)
+        arrivals_seed = [[] for _ in range(n_circuits)]
+        base = PERF.snapshot()
+        start = time.perf_counter()
+        for i in range(n_circuits):
+            floor = 0.0
+            for k in range(sends):
+                # The seed's transmit routed every send individually.
+                wire = net2.transit_delay_ms("s%02d" % i, "r%02d" % i,
+                                             nbytes)
+                arrival = max(sim2.now_ms + wire + extra_for(k), floor)
+                floor = arrival
+                sim2.schedule_at(
+                    arrival,
+                    lambda i=i: arrivals_seed[i].append(sim2.now_ms),
+                    label="stream s%02d->r%02d" % (i, i))
+        sim2.run_until_idle()
+        per_segment_wall_s = time.perf_counter() - start
+        pushes_per_segment = PERF.delta_since(base)["events_scheduled"]
+
+        assert arrivals_batched == arrivals_seed, \
+            "batched delivery changed arrival times"
+        assert all(len(a) == sends for a in arrivals_batched)
+        return {"n_circuits": n_circuits, "sends_per_circuit": sends,
+                "arrival_groups": sends // group,
+                "pushes_per_segment": pushes_per_segment,
+                "pushes_batched": pushes_batched,
+                "push_reduction_x": round(
+                    pushes_per_segment / pushes_batched, 1),
+                "arrivals_identical": True,
+                "per_segment_wall_s": round(per_segment_wall_s, 4),
+                "batched_wall_s": round(batched_wall_s, 4),
+                "sim_ms": round(sim.now_ms, 3)}
+
+    return _measure(run)
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 
@@ -243,6 +355,7 @@ SCENARIOS = {
     "broadcast_flood": bench_broadcast_flood,
     "snapshot_40_hosts": bench_snapshot,
     "gather_merge_40": bench_gather_merge,
+    "stream_flood": bench_stream_flood,
 }
 
 
@@ -280,11 +393,22 @@ def main(argv=None) -> int:
                         help="JSON trajectory file to merge into")
     parser.add_argument("--no-write", action="store_true",
                         help="run and print without touching the file")
+    parser.add_argument("--budget-s", type=float, default=None,
+                        help="fail (exit 2) if the summed measured wall "
+                             "time exceeds this many seconds")
     args = parser.parse_args(argv)
     results = run_all(smoke=args.smoke)
     if not args.no_write and not args.smoke:
         merge_into(args.output, args.label, results)
         print("merged under label %r into %s" % (args.label, args.output))
+    if args.budget_s is not None:
+        total_wall_s = sum(metrics["wall_s"] for metrics in results.values())
+        print("total measured wall time: %.3fs (budget %.3fs)"
+              % (total_wall_s, args.budget_s))
+        if total_wall_s > args.budget_s:
+            print("TIMING BUDGET EXCEEDED: %.3fs > %.3fs"
+                  % (total_wall_s, args.budget_s))
+            return 2
     return 0
 
 

@@ -31,11 +31,14 @@ class Event:
 
     Instances are handed back by :meth:`Simulator.schedule`; holding the
     reference allows cancellation (the simulator skips cancelled events
-    instead of removing them from the heap).
+    instead of removing them from the heap).  ``fired`` marks an event
+    that was popped for execution, so owners that re-arm one timer over
+    and over (the stream delivery timers) can cancel a stale reference
+    without miscounting a live cancellation.
     """
 
-    __slots__ = ("time_ms", "seq", "callback", "args", "cancelled", "label",
-                 "_queue")
+    __slots__ = ("time_ms", "seq", "callback", "args", "cancelled", "fired",
+                 "label", "_queue")
 
     def __init__(self, time_ms: float, seq: int,
                  callback: Callable[..., None], args: tuple,
@@ -45,6 +48,8 @@ class Event:
         self.callback: Optional[Callable[..., None]] = callback
         self.args = args
         self.cancelled = False
+        #: True once the event has been popped for execution.
+        self.fired = False
         self.label = label
         #: The queue currently holding this event; cancellation
         #: bookkeeping flows through this single path.
@@ -91,6 +96,12 @@ class EventQueue:
         self.compactions = 0
 
     def push(self, event: Event) -> None:
+        """Insert ``event``, preserving the ``(time, seq)`` total order.
+
+        In-order arrivals (the common monotone-timer case) append to the
+        FIFO in O(1); everything else heap-sifts.
+        """
+        PERF.events_scheduled += 1
         event._queue = self
         fifo = self._fifo
         # Same-time fast path: an event due at the instant currently
@@ -119,6 +130,7 @@ class EventQueue:
         else:
             return None
         event._queue = None
+        event.fired = True
         self._last_pop_ms = event.time_ms
         self._live -= 1
         return event

@@ -30,7 +30,13 @@ from .simulator import Simulator
 
 
 class NetworkNode:
-    """Network attachment point of one host."""
+    """Network attachment point of one host.
+
+    The service registry models the well-known ports the paper's
+    daemons listen on (section 3: ``inetd`` accepts the LPM-creation
+    request and hands it to the ``pmd``); ``up`` is the crash-failure
+    flag of section 5's recovery discussion.
+    """
 
     def __init__(self, name: str, host_class: HostClass) -> None:
         self.name = name
@@ -47,6 +53,7 @@ class NetworkNode:
         self.services[service] = acceptor
 
     def unlisten(self, service: str) -> None:
+        """Remove a service registration; unknown names are ignored."""
         self.services.pop(service, None)
 
     def __repr__(self) -> str:
@@ -56,18 +63,29 @@ class NetworkNode:
 
 
 class NetworkStats:
-    """Counters used by the transport ablations."""
+    """Counters used by the transport ablations (the paper's section 3
+    circuits-vs-datagrams trade-off, ablation A1).
+
+    ``stream_delivery_batches`` counts delivery-timer fires of the
+    batched per-circuit-direction scheduler (see ``stream.py``), and
+    ``stream_deliveries_suppressed`` counts segments drained but not
+    delivered because the circuit closed or the receiving host went
+    down while they were in flight.
+    """
 
     def __init__(self) -> None:
         self.connections_opened = 0
         self.connections_broken = 0
         self.stream_messages = 0
         self.stream_bytes = 0
+        self.stream_delivery_batches = 0
+        self.stream_deliveries_suppressed = 0
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
         self.datagram_bytes = 0
 
     def snapshot(self) -> Dict[str, int]:
+        """The current values as a plain dict."""
         return dict(vars(self))
 
 
@@ -90,6 +108,8 @@ class Network:
 
     def add_node(self, name: str,
                  host_class: HostClass = HostClass.VAX_780) -> NetworkNode:
+        """Attach a host to the network (host classes are the paper's
+        measured machines, Table 1); names must be unique."""
         if name in self.nodes:
             raise SimulationError("duplicate host name %r" % (name,))
         node = NetworkNode(name, host_class)
@@ -97,6 +117,7 @@ class Network:
         return node
 
     def node(self, name: str) -> NetworkNode:
+        """Look a host up by name, raising :class:`NoSuchHostError`."""
         try:
             return self.nodes[name]
         except KeyError:
@@ -104,6 +125,9 @@ class Network:
 
     def add_link(self, a: str, b: str, latency_ms: float = 5.0,
                  bandwidth_bytes_per_ms: float = 1250.0) -> Link:
+        """Join two distinct hosts with an undirected link (section 2's
+        "internetwork of computers" generalisation of the one-Ethernet
+        testbed)."""
         self.node(a)
         self.node(b)
         if a == b:
@@ -114,6 +138,7 @@ class Network:
         return link
 
     def link_between(self, a: str, b: str) -> Optional[Link]:
+        """The direct link joining ``a`` and ``b``, or None."""
         wanted = frozenset((a, b))
         for link in self.links:
             if link.endpoints() == wanted:
@@ -165,6 +190,8 @@ class Network:
         return None
 
     def reachable(self, src: str, dst: str) -> bool:
+        """True when some usable path joins two up hosts — the
+        connectivity predicate behind circuit break detection (§5)."""
         return self.find_path(src, dst) is not None
 
     def path_delay_ms(self, path: List[str], nbytes: int) -> float:
@@ -194,6 +221,8 @@ class Network:
         self._topology_changed()
 
     def revive_host(self, name: str) -> None:
+        """Bring a crashed host back (the reboot that lets section 5's
+        recovery machinery re-adopt the site)."""
         self.node(name).up = True
         self._topology_changed()
 
@@ -226,11 +255,13 @@ class Network:
         self._topology_changed()
 
     def heal_partition(self) -> None:
+        """Undo :meth:`set_partition`; section 5's partition merge."""
         for link in self.links:
             link.partitioned = False
         self._topology_changed()
 
     def set_link_state(self, a: str, b: str, up: bool) -> None:
+        """Administratively raise or cut one link."""
         link = self.link_between(a, b)
         if link is None:
             raise NoSuchHostError("no link %s-%s" % (a, b))
@@ -238,6 +269,9 @@ class Network:
         self._topology_changed()
 
     def add_topology_listener(self, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after every topology change (crash,
+        revive, partition, link state) — how higher layers notice the
+        failures section 5 requires them to survive."""
         self._topology_listeners.append(callback)
 
     def _topology_changed(self) -> None:
@@ -251,17 +285,22 @@ class Network:
     # ------------------------------------------------------------------
 
     def register_connection(self, conn) -> None:
+        """Track an established circuit for topology re-checks."""
         self._connections.append(conn)
         self.stats.connections_opened += 1
 
     def unregister_connection(self, conn) -> None:
+        """Forget a closed or broken circuit; idempotent."""
         if conn in self._connections:
             self._connections.remove(conn)
 
     def open_connection_count(self) -> int:
+        """Established circuits currently registered (the connection
+        state the A1 ablation charges circuits for maintaining)."""
         return len(self._connections)
 
     def require_up(self, name: str) -> NetworkNode:
+        """The named node, raising :class:`HostDownError` if crashed."""
         node = self.node(name)
         if not node.up:
             raise HostDownError(name)

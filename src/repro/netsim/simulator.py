@@ -64,13 +64,16 @@ class Simulator:
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel a scheduled event; safe on None and already-cancelled.
+        """Cancel a scheduled event; safe on None, already-cancelled,
+        and already-fired events.
 
-        All queue bookkeeping happens inside :meth:`Event.cancel`, so
-        cancelling an event that already fired (or was never queued) is
-        harmless rather than a counter-drift bug.
+        All queue bookkeeping happens inside :meth:`Event.cancel`, and
+        an event that was already popped for execution is a no-op here
+        (``events_cancelled`` counts only events genuinely prevented
+        from firing) — so re-arming timer owners may cancel a stale
+        reference without drifting any counter.
         """
-        if event is None or event.cancelled:
+        if event is None or event.cancelled or event.fired:
             return
         PERF.events_cancelled += 1
         event.cancel()

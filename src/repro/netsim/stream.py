@@ -12,13 +12,25 @@ Establishing a connection costs a configurable setup time covering the
 three-way handshake plus the channel authentication of section 3
 ("The LPMs are able to perform authentication when channels are created,
 rather than upon every request").
+
+Delivery scheduling is batched per circuit direction.  Each direction
+keeps a sorted in-flight queue (arrival times are non-decreasing thanks
+to the in-order floor, so appends keep it sorted) and at most **one**
+armed simulator timer.  When the timer fires it drains every segment
+whose arrival time has been reached, then re-arms for the next pending
+arrival.  Arrival times are byte-identical to scheduling one event per
+segment — only the event volume changes, which is what keeps chatty
+circuits (gather storms, broadcast replies, history streaming) from
+flooding the event queue.  See ``docs/NETSIM.md``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from ..errors import ConnectionClosedError, UnreachableHostError
+from ..perf import PERF
 from .network import Network
 
 #: Default detection delay for a silently broken circuit.
@@ -51,10 +63,15 @@ class StreamEndpoint:
              extra_delay_ms: float = 0.0) -> None:
         """Queue ``payload`` for in-order delivery to the peer.
 
-        ``extra_delay_ms`` lets the caller add endpoint processing time
-        computed at a higher layer (e.g. load-scaled LPM protocol costs).
-        Raises :class:`ConnectionClosedError` if the circuit is known to
-        be down, and breaks the circuit immediately if the send discovers
+        The segment joins the direction's in-flight queue with an
+        arrival time of now + wire delay + ``extra_delay_ms``, floored
+        so it never arrives before an earlier message; the direction's
+        single delivery timer (armed only when the queue was empty)
+        drains it when that time is reached.  ``extra_delay_ms`` lets
+        the caller add endpoint processing time computed at a higher
+        layer (e.g. load-scaled LPM protocol costs).  Raises
+        :class:`ConnectionClosedError` if the circuit is known to be
+        down, and breaks the circuit immediately if the send discovers
         the path is gone (TCP RST semantics).
         """
         if not self.open:
@@ -91,7 +108,17 @@ class StreamConnection:
         self.b = StreamEndpoint(self, b_name, a_name)
         self.detect_ms = detect_ms
         self.established = False
+        #: Per-direction in-order floor: no segment may arrive before a
+        #: previously queued one (keyed by receiving endpoint).
         self._last_delivery_ms = {id(self.a): 0.0, id(self.b): 0.0}
+        #: Per-direction sorted in-flight queue of (arrival_ms, payload).
+        #: Appends preserve the sort because the floor above makes
+        #: arrival times non-decreasing within a direction.
+        self._inflight: dict = {id(self.a): deque(), id(self.b): deque()}
+        #: Per-direction armed delivery timer (at most one each).
+        self._delivery_timer: dict = {id(self.a): None, id(self.b): None}
+        #: The pending detect-break timer armed by :meth:`recheck`.
+        self._detect_timer = None
         self._break_scheduled = False
 
     # ------------------------------------------------------------------
@@ -166,6 +193,17 @@ class StreamConnection:
 
     def transmit(self, sender: StreamEndpoint, payload, nbytes: int,
                  extra_delay_ms: float) -> None:
+        """Queue one segment toward ``sender``'s peer.
+
+        Computes the arrival time exactly as the per-segment scheduler
+        did (wire delay of the current path, plus the caller's extra
+        delay, floored by the in-order guarantee), appends it to the
+        direction's in-flight queue, and arms the direction's delivery
+        timer if it was idle.  A timer armed for an earlier segment
+        already covers this one: arrival times within a direction are
+        non-decreasing, so the head of the queue is always the next due
+        arrival and no re-arm is needed on send.
+        """
         peer = self._peer_of(sender)
         try:
             wire = self.network.transit_delay_ms(sender.local_name,
@@ -179,32 +217,86 @@ class StreamConnection:
         self.network.stats.stream_bytes += nbytes
         # In-order delivery: never deliver before an earlier message.
         arrival = self.sim.now_ms + wire + extra_delay_ms
-        floor = self._last_delivery_ms[id(peer)]
+        key = id(peer)
+        floor = self._last_delivery_ms[key]
         arrival = max(arrival, floor)
-        self._last_delivery_ms[id(peer)] = arrival
+        self._last_delivery_ms[key] = arrival
+        self._inflight[key].append((arrival, payload))
+        if self._delivery_timer[key] is None:
+            self._delivery_timer[key] = self.sim.schedule_at(
+                arrival, self._deliver_due, peer,
+                label="stream %s->%s" % (sender.local_name,
+                                         peer.local_name))
 
-        def deliver() -> None:
+    def _deliver_due(self, peer: StreamEndpoint) -> None:
+        """The delivery timer for ``peer``'s direction fired: drain
+        every in-flight segment whose arrival time has been reached (in
+        queue order, which is arrival order), then re-arm for the next
+        pending arrival if any segments remain.
+
+        Each drained segment is checked against the same suppression
+        rules the per-segment scheduler applied at its own delivery
+        event — circuit still up, endpoint still open, receiving host
+        still up — because an ``on_message`` callback may close the
+        circuit or crash the host mid-drain.
+        """
+        key = id(peer)
+        self._delivery_timer[key] = None
+        queue: Deque[Tuple[float, object]] = self._inflight[key]
+        now = self.sim.now_ms
+        stats = self.network.stats
+        PERF.stream_batched_deliveries += 1
+        stats.stream_delivery_batches += 1
+        while queue and queue[0][0] <= now:
+            _, payload = queue.popleft()
+            PERF.stream_segments_drained += 1
             if not self.established or not peer.open:
-                return
+                stats.stream_deliveries_suppressed += 1
+                continue
             node = self.network.nodes.get(peer.local_name)
             if node is None or not node.up:
-                return  # the packet arrives at a dead host
+                # The segment arrives at a dead host.
+                stats.stream_deliveries_suppressed += 1
+                continue
             if peer.on_message is not None:
                 peer.on_message(payload, peer)
-
-        self.sim.schedule_at(arrival, deliver,
-                             label="stream %s->%s" % (sender.local_name,
-                                                      peer.local_name))
+        # A callback may have closed the circuit (queue cleared) or sent
+        # more data on this direction (timer re-armed by transmit).
+        if queue and self.established and self._delivery_timer[key] is None:
+            PERF.stream_timer_rearms += 1
+            self._delivery_timer[key] = self.sim.schedule_at(
+                queue[0][0], self._deliver_due, peer,
+                label="stream %s->%s" % (peer.peer_name, peer.local_name))
 
     # ------------------------------------------------------------------
     # Teardown and failure
     # ------------------------------------------------------------------
+
+    def _flush_timers(self) -> None:
+        """Cancel every pending timer and drop the in-flight queues.
+
+        Called on orderly close and on break: segments still in flight
+        are lost (exactly as the per-segment scheduler dropped them at
+        their individual delivery events), the delivery timers must not
+        fire on a dead circuit, and a pending detect-break timer is
+        dead bookkeeping once the circuit is already down.
+        """
+        for key, timer in self._delivery_timer.items():
+            if timer is not None:
+                self.sim.cancel(timer)
+                self._delivery_timer[key] = None
+            self._inflight[key].clear()
+        if self._detect_timer is not None:
+            self.sim.cancel(self._detect_timer)
+            self._detect_timer = None
+        self._break_scheduled = False
 
     def close(self, initiator: Optional[StreamEndpoint] = None) -> None:
         """Orderly close: both endpoints see on_close('closed')."""
         if not self.established:
             return
         self.established = False
+        self._flush_timers()
         self.network.unregister_connection(self)
         for endpoint in (self.a, self.b):
             if endpoint._closed:
@@ -223,19 +315,40 @@ class StreamConnection:
         if self.network.reachable(self.a.local_name, self.b.local_name):
             return
         self._break_scheduled = True
-        self.sim.schedule(self.detect_ms, self._break, "connection timed out",
-                          label="detect-break %s-%s" % (self.a.local_name,
-                                                        self.b.local_name))
+        self._detect_timer = self.sim.schedule(
+            self.detect_ms, self._detect_break_fired,
+            label="detect-break %s-%s" % (self.a.local_name,
+                                          self.b.local_name))
 
-    def _break(self, reason: str, immediate: bool = False) -> None:
+    def _detect_break_fired(self) -> None:
+        """The detection delay elapsed; break unless the path healed."""
+        self._detect_timer = None
+        self._break_scheduled = False
         if not self.established:
             return
         # The path may have healed before detection fired.
+        if self.network.reachable(self.a.local_name, self.b.local_name):
+            return
+        self._break("connection timed out", immediate=True)
+
+    def _break(self, reason: str, immediate: bool = False) -> None:
+        """Tear the circuit down.
+
+        ``immediate`` skips the heal re-check (the caller has already
+        established the path is gone: a reset send, or a detect timer
+        that just verified unreachability).  Any pending detect-break
+        timer is cancelled and ``_break_scheduled`` cleared, so an
+        immediate break racing an armed detection cannot leave stale
+        bookkeeping behind.
+        """
+        if not self.established:
+            return
         if not immediate and self.network.reachable(self.a.local_name,
                                                     self.b.local_name):
             self._break_scheduled = False
             return
         self.established = False
+        self._flush_timers()
         self.network.unregister_connection(self)
         self.network.stats.connections_broken += 1
         for endpoint in (self.a, self.b):

@@ -39,6 +39,9 @@ Broadcast dedup (``repro.core.broadcast``):
 
 Event queue (``repro.netsim``):
 
+``events_scheduled``
+    Events pushed onto any event queue (the per-event scheduling cost
+    the stream batching exists to avoid).
 ``events_run``
     Events executed by any simulator in this process.
 ``events_cancelled``
@@ -48,6 +51,20 @@ Event queue (``repro.netsim``):
     push.
 ``heap_compactions``
     Times an event queue rebuilt itself to shed cancelled entries.
+
+Stream delivery batching (``repro.netsim.stream``):
+
+``stream_batched_deliveries``
+    Delivery-timer fires; each fire drains every in-flight segment of
+    one circuit direction whose arrival time has been reached.
+``stream_segments_drained``
+    Segments drained across all those fires (delivered or suppressed).
+    ``stream_segments_drained / stream_batched_deliveries`` is the
+    average batch size — the event-volume win over the old
+    one-event-per-segment scheduler.
+``stream_timer_rearms``
+    Fires that re-armed the direction's timer because segments with a
+    later arrival time remained queued.
 
 Exactly-once request layer (``repro.core.rpc``):
 
@@ -91,10 +108,14 @@ _COUNTERS = (
     "dedup_checks",
     "dedup_entries_scanned",
     "dedup_entries_expired",
+    "events_scheduled",
     "events_run",
     "events_cancelled",
     "events_fastpath",
     "heap_compactions",
+    "stream_batched_deliveries",
+    "stream_segments_drained",
+    "stream_timer_rearms",
     "requests_retransmitted",
     "requests_deduplicated",
     "gather_merges",

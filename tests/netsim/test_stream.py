@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConnectionClosedError
 from repro.netsim import Network, Simulator, StreamConnection
+from repro.perf import PERF
 
 
 class Collector:
@@ -186,6 +187,134 @@ def test_stats_count_messages_and_connections():
     assert net.open_connection_count() == 1
     client.endpoint.close()
     assert net.open_connection_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Batched per-direction delivery
+# ----------------------------------------------------------------------
+
+def test_burst_arrives_in_order_at_per_segment_times():
+    # A back-to-back burst must arrive in order at exactly the arrival
+    # times the seed's one-event-per-segment scheduler produced:
+    # max(now + wire + extra, floor), floor advancing to each arrival.
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    deliveries = []
+    server.endpoint.on_message = (
+        lambda payload, ep: deliveries.append((payload, sim.now_ms)))
+    extras = [0.0, 0.0, 40.0, 0.0, 15.0]
+    wire = net.transit_delay_ms("a", "b", 32)
+    t0 = sim.now_ms
+    expected, floor = [], 0.0
+    for i, extra in enumerate(extras):
+        arrival = max(t0 + wire + extra, floor)
+        floor = arrival
+        expected.append((i, arrival))
+    for i, extra in enumerate(extras):
+        client.endpoint.send(i, nbytes=32, extra_delay_ms=extra)
+    sim.run_until_idle()
+    assert deliveries == expected
+
+
+def test_burst_batches_into_one_event_per_arrival_group():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    base = PERF.snapshot()
+    # Two arrival groups: ten identical-time segments, then ten more
+    # pushed 30 ms later by extra delay (the floor flattens each group).
+    for i in range(20):
+        client.endpoint.send(i, nbytes=32,
+                             extra_delay_ms=30.0 if i >= 10 else 0.0)
+    sim.run_until_idle()
+    delta = PERF.delta_since(base)
+    assert server.messages == list(range(20))
+    assert delta["stream_batched_deliveries"] == 2
+    assert delta["stream_segments_drained"] == 20
+    assert delta["stream_timer_rearms"] == 1
+    # One armed timer plus one re-arm, instead of twenty pushes.
+    assert delta["events_scheduled"] == 2
+
+
+def test_close_mid_burst_cancels_timer_and_drops_inflight():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    for i in range(5):
+        client.endpoint.send(i, nbytes=32)
+    client.endpoint.close()
+    assert len(sim.queue) == 0  # delivery timer cancelled, not leaked
+    sim.run_until_idle()
+    assert server.messages == []
+    assert server.closes == ["closed"]
+
+
+def test_break_mid_burst_cancels_timers_and_detection():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    for i in range(5):
+        client.endpoint.send(i, nbytes=32, extra_delay_ms=100.0)
+    net.set_partition([{"a"}, {"b", "c"}])  # arms the detect-break timer
+    with pytest.raises(ConnectionClosedError):
+        client.endpoint.send("reset", nbytes=32)  # immediate break
+    # The immediate break must cancel the delivery timer AND the pending
+    # detect-break timer, leaving no stale bookkeeping.
+    conn = client.endpoint.conn
+    assert not conn._break_scheduled
+    assert conn._detect_timer is None
+    assert len(sim.queue) == 0
+    sim.run_until_idle()
+    assert server.messages == []
+
+
+def test_rebroken_path_after_immediate_break_still_detects():
+    # Regression for the stale-_break_scheduled bug: an immediate break
+    # while a detect-break timer was pending must not leave state that
+    # lets a later healed-then-rebroken circuit skip detection.
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    net.set_partition([{"a"}, {"b", "c"}])
+    with pytest.raises(ConnectionClosedError):
+        client.endpoint.send("reset")
+    net.heal_partition()
+    sim.run_for(5_000.0)
+    # A fresh circuit over the healed path must get its own detection.
+    client2, server2 = open_pair(sim, net)
+    net.set_partition([{"a"}, {"b", "c"}])
+    sim.run_for(10_000.0)
+    assert client2.closes == ["connection timed out"]
+
+
+def test_host_down_between_arm_and_fire_suppresses_delivery():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+    client.endpoint.send("lost", nbytes=32, extra_delay_ms=200.0)
+    net.crash_host("b")  # down before the armed timer fires
+    sim.run_for(500.0)   # past the arrival, before the detection delay
+    assert server.messages == []
+    assert net.stats.stream_deliveries_suppressed == 1
+    net.revive_host("b")
+    sim.run_for(5_000.0)
+    assert client.closes == []  # healed before detection broke it
+    client.endpoint.send("after revival", nbytes=32)
+    sim.run_for(1_000.0)
+    assert server.messages == ["after revival"]
+
+
+def test_close_during_drain_stops_remaining_same_time_segments():
+    sim, net = build()
+    client, server = open_pair(sim, net)
+
+    def close_after_first(payload, endpoint):
+        server.messages.append(payload)
+        endpoint.close()
+
+    server.endpoint.on_message = close_after_first
+    for i in range(4):
+        client.endpoint.send(i, nbytes=32)  # one arrival group of four
+    sim.run_until_idle()
+    # The close inside the drain flushes the rest of the batch: the
+    # remaining same-instant segments are lost, never delivered.
+    assert server.messages == [0]
+    assert len(sim.queue) == 0
 
 
 def test_multihop_connection_survives_alternate_path():

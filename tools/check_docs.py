@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Documentation lint: intra-repo links and package coverage.
+
+Two checks keep the docs from rotting as the codebase grows:
+
+1. **Link validity** — every relative markdown link in every tracked
+   ``*.md`` file must point at a file (or directory) that exists.
+   External links (``http://``, ``https://``, ``mailto:``) and pure
+   in-page anchors (``#...``) are ignored, as are links inside fenced
+   code blocks.
+
+2. **Package coverage** — every package under ``src/repro/`` must be
+   mentioned (as ``repro.<name>``) in ``DESIGN.md`` or somewhere under
+   ``docs/``, so no subsystem exists without a paragraph of
+   architecture documentation.
+
+Run from the repo root::
+
+    python tools/check_docs.py
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Directories never scanned for markdown (generated output, VCS, envs).
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+             ".venv", "venv", "results"}
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def markdown_files() -> Iterator[str]:
+    """Every ``*.md`` file in the repo, skipping generated trees."""
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for filename in sorted(filenames):
+            if filename.endswith(".md"):
+                yield os.path.join(dirpath, filename)
+
+
+def links_in(path: str) -> Iterator[Tuple[int, str]]:
+    """``(line_number, target)`` for every link outside code fences."""
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if _FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                yield lineno, match.group(1)
+
+
+def check_links() -> List[str]:
+    errors: List[str] = []
+    for path in markdown_files():
+        rel = os.path.relpath(path, REPO_ROOT)
+        for lineno, target in links_in(path):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path),
+                             target.split("#", 1)[0]))
+            if not os.path.exists(resolved):
+                errors.append("%s:%d: broken link %r" % (rel, lineno, target))
+    return errors
+
+
+def check_package_coverage() -> List[str]:
+    src = os.path.join(REPO_ROOT, "src", "repro")
+    packages = sorted(
+        name for name in os.listdir(src)
+        if os.path.isdir(os.path.join(src, name))
+        and os.path.exists(os.path.join(src, name, "__init__.py")))
+
+    corpus = []
+    design = os.path.join(REPO_ROOT, "DESIGN.md")
+    if os.path.exists(design):
+        corpus.append(design)
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        corpus += [os.path.join(docs, f) for f in sorted(os.listdir(docs))
+                   if f.endswith(".md")]
+    text = ""
+    for path in corpus:
+        with open(path, "r", encoding="utf-8") as handle:
+            text += handle.read()
+
+    errors: List[str] = []
+    for package in packages:
+        if "repro.%s" % package not in text:
+            errors.append(
+                "package repro.%s is not mentioned in DESIGN.md or docs/"
+                % package)
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_package_coverage()
+    for error in errors:
+        print("docs: %s" % error)
+    if errors:
+        return 1
+    print("docs: ok (%d markdown files, all links valid, all packages "
+          "documented)" % sum(1 for _ in markdown_files()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
