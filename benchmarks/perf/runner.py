@@ -32,11 +32,19 @@ runs through:
     timer, asserting the arrival times are byte-identical and
     recording the event-queue push counts for both.
 
+``span_overhead``
+    The span-tracing layer's cost: the same multi-host snapshot
+    session run untraced and traced (``repro.perf.spans``), recording
+    both simulated times (they legitimately differ — the span context
+    rides the wire and is charged bytes), the wall-clock overhead
+    ratio, and the span volume.  ``--trace-out`` additionally exports
+    the traced run as Chrome trace-event JSON.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.runner [--smoke]
         [--label before|after] [--output BENCH_core.json]
-        [--budget-s SECONDS]
+        [--budget-s SECONDS] [--trace-out trace.json]
 
 Wall-clock and counter deltas are merged into ``BENCH_core.json`` at
 the repo root under the given label, so successive PRs accumulate a
@@ -347,6 +355,62 @@ def bench_stream_flood(smoke: bool = False) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Scenario 6: span-tracing overhead — the same session, off vs on
+# ----------------------------------------------------------------------
+
+def bench_span_overhead(smoke: bool = False, trace_out=None) -> dict:
+    from repro.perf.spans import enable_tracing
+
+    n_hosts = 5 if smoke else 20
+    rounds = 1 if smoke else 3
+
+    def session(traced: bool):
+        world = World(seed=29)
+        names = ["h%02d" % i for i in range(n_hosts)]
+        for name in names:
+            world.add_host(name, HostClass.VAX_780)
+        world.ethernet()
+        world.add_user("lfc", 1001)
+        install(world)
+        world.write_recovery_file("lfc", [names[0]])
+        tracer = enable_tracing(world.sim) if traced else None
+        start = time.perf_counter()
+        origin = PPMClient(world, "lfc", names[0]).connect()
+        for name in names[1:]:
+            origin.create_process("job-%s" % name, host=name,
+                                  program=spinner_spec(None))
+        for _ in range(rounds):
+            forest = origin.snapshot(prune=False)
+            assert len(forest) == n_hosts - 1
+        wall_s = time.perf_counter() - start
+        return world, tracer, wall_s
+
+    def run() -> dict:
+        world_off, _, wall_off_s = session(traced=False)
+        world_on, tracer, wall_on_s = session(traced=True)
+        result = {
+            "n_hosts": n_hosts, "rounds": rounds,
+            "sim_ms_off": round(world_off.sim.now_ms, 3),
+            "sim_ms_on": round(world_on.sim.now_ms, 3),
+            "wall_off_s": round(wall_off_s, 4),
+            "wall_on_s": round(wall_on_s, 4),
+            "wall_overhead_x": round(wall_on_s / wall_off_s, 2)
+            if wall_off_s else None,
+            "spans_kept": len(tracer.spans),
+            "spans_dropped": tracer.dropped,
+            "rpc_rtt_p95_ms":
+                tracer.histograms["rpc_rtt"].summary()["p95_ms"],
+        }
+        if trace_out:
+            from repro.perf.chrometrace import write_chrome_trace
+            result["trace_events"] = write_chrome_trace(tracer, trace_out)
+            result["trace_out"] = trace_out
+        return result
+
+    return _measure(run)
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 
@@ -356,16 +420,27 @@ SCENARIOS = {
     "snapshot_40_hosts": bench_snapshot,
     "gather_merge_40": bench_gather_merge,
     "stream_flood": bench_stream_flood,
+    "span_overhead": bench_span_overhead,
 }
 
 
-def run_all(smoke: bool = False) -> dict:
+def run_all(smoke: bool = False, trace_out=None) -> dict:
     results = {}
     for name, fn in SCENARIOS.items():
         print("running %s%s ..." % (name, " (smoke)" if smoke else ""),
               flush=True)
-        results[name] = fn(smoke=smoke)
+        # Scope the process-global counter registry per scenario: the
+        # reset covers world construction too (``_measure`` resets again
+        # around the measured window), and the final reset below keeps
+        # the last scenario's counts from bleeding into whatever runs
+        # in this process next.
+        PERF.reset()
+        if name == "span_overhead":
+            results[name] = fn(smoke=smoke, trace_out=trace_out)
+        else:
+            results[name] = fn(smoke=smoke)
         print("  %s" % (json.dumps(results[name], sort_keys=True),))
+    PERF.reset()
     return results
 
 
@@ -396,8 +471,11 @@ def main(argv=None) -> int:
     parser.add_argument("--budget-s", type=float, default=None,
                         help="fail (exit 2) if the summed measured wall "
                              "time exceeds this many seconds")
+    parser.add_argument("--trace-out", default=None,
+                        help="export the span_overhead scenario's traced "
+                             "run as Chrome trace-event JSON to this path")
     args = parser.parse_args(argv)
-    results = run_all(smoke=args.smoke)
+    results = run_all(smoke=args.smoke, trace_out=args.trace_out)
     if not args.no_write and not args.smoke:
         merge_into(args.output, args.label, results)
         print("merged under label %r into %s" % (args.label, args.output))

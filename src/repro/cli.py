@@ -1,11 +1,16 @@
 """Command-line entry point: ``python -m repro``.
 
-Three subcommands:
+Five subcommands:
 
 * ``demo``  — build a small simulated network, run a representative
   session, and print the tool output (a self-contained tour).
 * ``shell`` — the same world, but interactive: drive the PPM through
   the :class:`repro.core.shell.PPMShell` command interpreter.
+* ``stats`` — run the demo session with span tracing enabled and
+  pretty-print ``PPM.perf_stats()``: the hot-path counters plus the
+  per-operation-class latency percentiles.
+* ``trace`` — the same session, exported as Chrome trace-event JSON
+  (load the file at https://ui.perfetto.dev).
 * ``version`` — print the package version.
 """
 
@@ -22,8 +27,12 @@ from .netsim.latency import HostClass
 from .unixsim.world import World
 
 
-def build_demo_world(seed: int = 1):
-    """The standard demo network: three hosts, one user."""
+def build_demo_world(seed: int = 1, trace: bool = False):
+    """The standard demo network: three hosts, one user.
+
+    ``trace`` attaches a span tracer before the session starts so the
+    bootstrap traffic is captured too.
+    """
     world = World(seed=seed)
     world.add_host("ucbvax", HostClass.VAX_780)
     world.add_host("ucbarpa", HostClass.VAX_750)
@@ -32,6 +41,8 @@ def build_demo_world(seed: int = 1):
     world.add_user("lfc", uid=1001)
     ppm = PersonalProcessManager(world, "lfc", "ucbvax",
                                  recovery_hosts=["ucbvax", "ucbarpa"])
+    if trace:
+        ppm.enable_span_tracing()
     ppm.start()
     return world, ppm
 
@@ -93,6 +104,69 @@ def cmd_shell(args) -> int:
     return 0
 
 
+def _run_traced_session(seed: int):
+    """The ``demo`` script's workload with span tracing on; returns
+    ``(world, ppm)`` with the session's spans and histograms collected."""
+    from .perf import PERF
+    PERF.reset()
+    world, ppm = build_demo_world(seed=seed, trace=True)
+    coordinator = ppm.create_process("coordinator", host="ucbvax")
+    ppm.create_process("solver", host="ucbarpa", parent=coordinator)
+    remote = ppm.create_process("solver", host="ucbernie",
+                                parent=coordinator)
+    ppm.snapshot()
+    ppm.rstats_report()
+    # Exercise the broadcast path too: a LOCATE flood over the sibling
+    # graph (the demo's direct links mean tool requests never need one).
+    lpm = world.lpms[("ucbvax", "lfc")]
+    lpm.locate(remote.host, remote.pid, lambda reply: None)
+    world.run_for(2_000.0)
+    ppm.snapshot()
+    return world, ppm
+
+
+def cmd_stats(args) -> int:
+    world, ppm = _run_traced_session(args.seed)
+    stats = ppm.perf_stats()
+    latency = stats.pop("latency_ms", {})
+    from .util import format_table
+
+    counter_rows = [[name, "%d" % value]
+                    for name, value in sorted(stats.items())
+                    if isinstance(value, int) and value]
+    counter_rows += [[name, "%.3f" % stats[name]]
+                     for name in ("sim_now_ms",) if name in stats]
+    print(format_table(["counter", "value"], counter_rows,
+                       title="perf counters (demo session, traced)"))
+    print()
+
+    def cell(value):
+        return "-" if value is None else "%.3f" % value
+
+    latency_rows = [[op,
+                     "%d" % block["count"], cell(block["mean_ms"]),
+                     cell(block["p50_ms"]), cell(block["p95_ms"]),
+                     cell(block["p99_ms"]), cell(block["max_ms"])]
+                    for op, block in sorted(latency.items())]
+    print(format_table(
+        ["operation", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+         "max_ms"],
+        latency_rows, title="latency histograms (simulated ms)"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .perf.chrometrace import write_chrome_trace
+    world, ppm = _run_traced_session(args.seed)
+    tracer = world.sim.tracer
+    count = write_chrome_trace(tracer, args.out)
+    print("wrote %d trace events (%d spans, %d dropped) to %s"
+          % (count, len(tracer.spans), tracer.dropped, args.out))
+    print("open https://ui.perfetto.dev and load the file "
+          "(one process row per simulated host)")
+    return 0
+
+
 def cmd_version(args) -> int:
     print("repro %s — Berkeley PPM reproduction (ICDCS 1986)"
           % (__version__,))
@@ -113,6 +187,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     shell = sub.add_parser("shell", help="interactive PPM shell")
     shell.add_argument("--seed", type=int, default=1)
     shell.set_defaults(fn=cmd_shell, input=None)
+
+    stats = sub.add_parser(
+        "stats", help="run a traced demo session and print perf stats")
+    stats.add_argument("--seed", type=int, default=1)
+    stats.set_defaults(fn=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="run a traced demo session and export Chrome "
+                      "trace-event JSON")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (default: trace.json)")
+    trace.set_defaults(fn=cmd_trace)
 
     version = sub.add_parser("version", help="print the version")
     version.set_defaults(fn=cmd_version)

@@ -134,6 +134,12 @@ class PPMClient:
         request = Message(kind=kind, req_id=self._req_counter,
                           origin=self.host_name, user=self.user,
                           payload=payload or {})
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start("tool:%s" % kind.value,
+                                host=self.host_name, cat="tool")
+            request.trace = span.ctx()
         deferred = Deferred()
         self._pending[request.req_id] = deferred
         host = self.world.hosts[self.host_name]
@@ -143,7 +149,12 @@ class PPMClient:
         if not self.world.run_until_true(lambda: deferred.resolved,
                                          timeout_ms=timeout_ms):
             self._pending.pop(request.req_id, None)
+            if span is not None:
+                tracer.finish(span, op="tool_call", outcome="timeout")
             raise RequestTimeoutError(kind.value)
+        if span is not None:
+            tracer.finish(span, op="tool_call",
+                          outcome="lost" if deferred.value is None else "ok")
         if deferred.value is None:
             raise PPMError("connection to LPM lost during %s"
                            % (kind.value,))

@@ -50,6 +50,9 @@ class GatherOp:
         self.outstanding = 0
         self.merges_pending = 0
         self.finished = False
+        #: Open tracing span covering this gather level (None when span
+        #: tracing is disabled).
+        self.span = None
 
     @property
     def complete(self) -> bool:
@@ -70,13 +73,18 @@ class GatherEngine:
     def start(self, what: str,
               reply_fn: Callable[[dict], None],
               visited: Optional[List[str]] = None,
-              broadcast=None, timeout_ms: Optional[float] = None) -> None:
+              broadcast=None, timeout_ms: Optional[float] = None,
+              trace_parent=None) -> None:
         """Collect records from this LPM and, recursively, from every
         sibling not yet visited.  ``reply_fn`` receives a dict with
         ``records`` (sorted by gpid), ``paths`` (host -> overlay path
         from here) and ``missing`` (hosts that could not answer)."""
         lpm = self.lpm
         op = GatherOp(what, reply_fn)
+        tracer = lpm.sim.tracer
+        if tracer is not None:
+            op.span = tracer.start("gather:%s" % what, host=lpm.name,
+                                   parent=trace_parent, cat="gather")
         op.paths[lpm.name] = [lpm.name]
         if broadcast is None:
             broadcast = lpm.broadcast.stamp()
@@ -98,13 +106,15 @@ class GatherEngine:
             if not targets:
                 self._finish(op)
                 return
+            child_parent = None if op.span is None else op.span.ctx()
             for peer in targets:
                 lpm.send_request(
                     peer, MsgKind.GATHER,
                     {"what": what, "visited": visited_for_children},
                     lambda reply, peer=peer: self._child_reply(
                         op, peer, reply),
-                    timeout_ms=timeout_ms, broadcast=broadcast)
+                    timeout_ms=timeout_ms, broadcast=broadcast,
+                    trace_parent=child_parent)
 
         lpm.sim.schedule(collect_cost, collected,
                          label="gather collect %s" % (lpm.name,))
@@ -118,16 +128,28 @@ class GatherEngine:
             op.missing.append(peer)
         else:
             op.merges_pending += 1
+            tracer = self.lpm.sim.tracer
+            merge_span = None
+            if tracer is not None and op.span is not None:
+                merge_span = tracer.start("merge:%s" % peer,
+                                          host=self.lpm.name,
+                                          parent=op.span.ctx(),
+                                          cat="gather")
             merge_cost = self.lpm._cpu_occupy(self.lpm.cost.snapshot_merge_ms)
             self.lpm.sim.schedule(merge_cost, self._merged, op,
-                                  reply.payload,
+                                  reply.payload, merge_span,
                                   label="gather merge %s<-%s" % (
                                       self.lpm.name, peer))
             return
         if op.complete:
             self._finish(op)
 
-    def _merged(self, op: GatherOp, payload: dict) -> None:
+    def _merged(self, op: GatherOp, payload: dict,
+                merge_span=None) -> None:
+        tracer = self.lpm.sim.tracer
+        if merge_span is not None and tracer is not None:
+            tracer.finish(merge_span,
+                          records=len(payload.get("records", [])))
         if op.finished:
             return
         op.merges_pending -= 1
@@ -154,15 +176,24 @@ class GatherEngine:
         # (section 4: replies carry the source-destination route).
         for path in paths.values():
             self.lpm.router.learn_path(list(path))
+        tracer = self.lpm.sim.tracer
+        if op.span is not None and tracer is not None:
+            tracer.finish(op.span, op="gather_complete",
+                          records=len(records), missing=len(missing))
         op.reply_fn({"ok": True, "records": records, "paths": paths,
                      "missing": missing})
 
     def handle_gather(self, message: Message, from_host: str) -> None:
         """Server side: a sibling's GATHER arrived."""
         lpm = self.lpm
+        tracer = lpm.sim.tracer
         # Duplicate-request suppression by signed timestamp (section 4).
         if not lpm.broadcast.should_accept(message.broadcast,
                                            hops=len(message.route)):
+            if tracer is not None:
+                tracer.instant("dedup:drop", host=lpm.name,
+                               parent=message.trace, cat="broadcast",
+                               origin=message.origin)
             lpm._trace(TraceEventType.BROADCAST_DUPLICATE,
                        origin=message.origin)
             reply = message.make_reply(MsgKind.GATHER_REPLY, lpm.name,
@@ -171,6 +202,10 @@ class GatherEngine:
                                         "duplicate": True})
             lpm.router.route_send(reply)
             return
+        if tracer is not None:
+            tracer.instant("dedup:accept", host=lpm.name,
+                           parent=message.trace, cat="broadcast",
+                           origin=message.origin)
         lpm.broadcast.forwards += 1
         lpm._trace(TraceEventType.BROADCAST_FORWARDED,
                    origin=message.origin)
@@ -183,4 +218,5 @@ class GatherEngine:
         self.start(message.payload.get("what", "snapshot"),
                    finished,
                    visited=message.payload.get("visited", []),
-                   broadcast=message.broadcast)
+                   broadcast=message.broadcast,
+                   trace_parent=message.trace)

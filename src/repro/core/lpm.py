@@ -204,10 +204,12 @@ class LocalProcessManager:
                      on_reply: Callable[[Optional[Message]], None],
                      timeout_ms: Optional[float] = None,
                      route: Optional[List[str]] = None,
-                     broadcast=None, use_handler: bool = True) -> None:
+                     broadcast=None, use_handler: bool = True,
+                     trace_parent=None) -> None:
         self.rpc.send_request(dest, kind, payload, on_reply,
                               timeout_ms=timeout_ms, route=route,
-                              broadcast=broadcast, use_handler=use_handler)
+                              broadcast=broadcast, use_handler=use_handler,
+                              trace_parent=trace_parent)
 
     def _route_send(self, message: Message) -> None:
         self.router.route_send(message)
@@ -335,6 +337,10 @@ class LocalProcessManager:
     def _handle_control(self, message: Message) -> None:
         if self.rpc.note_request_started(message):
             return
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.start(
+            "serve:control", host=self.name, parent=message.trace,
+            cat="serve")
 
         def acted() -> None:
             result = self._apply_control(message.payload["pid"],
@@ -343,6 +349,8 @@ class LocalProcessManager:
             reply = message.make_reply(MsgKind.CONTROL_ACK, self.name,
                                        result)
             self.router.route_send(reply)
+            if span is not None:
+                tracer.finish(span, ok=bool(result.get("ok")))
 
         # signal delivery plus the kernel's confirmation (section 6).
         self.sim.schedule(self._cpu(self.cost.signal_ms), acted,
@@ -353,6 +361,10 @@ class LocalProcessManager:
         if self.rpc.note_request_started(message):
             return
         payload = message.payload
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.start(
+            "serve:create", host=self.name, parent=message.trace,
+            cat="serve")
 
         def created() -> None:
             parent = payload.get("parent")
@@ -370,17 +382,28 @@ class LocalProcessManager:
             reply = message.make_reply(MsgKind.CREATE_ACK, self.name,
                                        result)
             self.router.route_send(reply)
+            if span is not None:
+                tracer.finish(span, ok=bool(result.get("ok")))
 
         # The LPM is the ready process-creation server: a cheap fork.
         self.sim.schedule(self._cpu(self.cost.server_fork_ms), created,
                           label="create %s" % (payload.get("command"),))
 
     def _handle_locate(self, message: Message, from_host: str) -> None:
+        tracer = self.sim.tracer
         if not self.broadcast.should_accept(message.broadcast,
                                             hops=len(message.route)):
+            if tracer is not None:
+                tracer.instant("dedup:drop", host=self.name,
+                               parent=message.trace, cat="broadcast",
+                               origin=message.origin)
             self._trace(TraceEventType.BROADCAST_DUPLICATE,
                         origin=message.origin)
             return
+        if tracer is not None:
+            tracer.instant("dedup:accept", host=self.name,
+                           parent=message.trace, cat="broadcast",
+                           origin=message.origin)
         target = message.payload["pid"]
         target_host = message.payload["host"]
         if target_host == self.name and target in self.records:
@@ -400,7 +423,8 @@ class LocalProcessManager:
                              origin=message.origin, user=message.user,
                              payload=dict(message.payload),
                              route=message.route + [peer],
-                             broadcast=message.broadcast)
+                             broadcast=message.broadcast,
+                             trace=message.trace)
             link = self.siblings[peer]
             try:
                 self.transport.send_on_link(link, onward, forwarding=True)
@@ -416,15 +440,23 @@ class LocalProcessManager:
 
     def locate(self, host: str, pid: int,
                on_result: Callable[[Optional[Message]], None],
-               timeout_ms: float = 5_000.0) -> None:
+               timeout_ms: float = 5_000.0, trace_parent=None) -> None:
         """Broadcast a LOCATE over the sibling graph; the owner answers
         along the recorded route."""
         stamp = self.broadcast.stamp()
         req_id = self.rpc.next_req_id()
         resolved = Deferred()
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.start(
+            "broadcast:locate", host=self.name, parent=trace_parent,
+            cat="broadcast", target="%s/%s" % (host, pid))
 
         def on_ack(reply: Optional[Message]) -> None:
             if resolved.resolve(reply):
+                if span is not None:
+                    tracer.finish(
+                        span, op="broadcast_settle",
+                        outcome="found" if reply is not None else "timeout")
                 on_result(reply)
 
         timer = self.sim.schedule(timeout_ms, on_ack, None,
@@ -440,7 +472,8 @@ class LocalProcessManager:
             locate = Message(kind=MsgKind.LOCATE, req_id=req_id,
                              origin=self.name, user=self.user,
                              payload={"host": host, "pid": pid},
-                             route=[self.name, peer], broadcast=stamp)
+                             route=[self.name, peer], broadcast=stamp,
+                             trace=None if span is None else span.ctx())
             try:
                 self.transport.send_on_link(self.siblings[peer], locate)
             except ConnectionClosedError:

@@ -79,6 +79,10 @@ class Message:
     reply_to: Optional[int] = None
     broadcast: Optional[BroadcastId] = None
     final_dest: Optional[str] = None
+    #: Span context ``[trace_id, span_id]`` when span tracing is on;
+    #: omitted from the wire encoding when None so disabled runs stay
+    #: byte-identical (see :mod:`repro.perf.spans`).
+    trace: Optional[List[int]] = None
     #: Wire-layer cache slot: ``(fingerprint, encoded bytes)`` managed
     #: by :mod:`repro.core.wire`.  The fingerprint covers the fields
     #: that legitimately change while a message is in flight (the route
@@ -89,7 +93,8 @@ class Message:
 
     def wire_fingerprint(self) -> tuple:
         """The mutation-sensitive identity of this message's encoding."""
-        return (tuple(self.route), self.final_dest, self.reply_to)
+        return (tuple(self.route), self.final_dest, self.reply_to,
+                None if self.trace is None else tuple(self.trace))
 
     def make_reply(self, kind: MsgKind, sender_host: str,
                    payload: Optional[dict] = None) -> "Message":
@@ -99,7 +104,8 @@ class Message:
                        payload=payload if payload is not None else {},
                        route=list(reversed(self.route)),
                        reply_to=self.req_id,
-                       final_dest=self.origin)
+                       final_dest=self.origin,
+                       trace=self.trace)
 
     @property
     def is_reply(self) -> bool:

@@ -96,12 +96,35 @@ class PersonalProcessManager:
         tests that want to assert on redundant work (re-encodes,
         re-hashed stamps, dedup scans, heap compactions) rather than on
         wall-clock noise.
+
+        When span tracing is enabled (:meth:`enable_span_tracing`), a
+        ``latency_ms`` section carries the per-operation-class
+        histograms — count, mean, extrema, p50/p95/p99 — for rpc
+        round-trips, broadcast settles, gather completions, stream
+        delivery lag, and tool calls, plus span retention totals.
         """
         stats = PERF.snapshot()
         stats["sim_events_run"] = self.world.sim.events_run
         stats["sim_now_ms"] = self.world.sim.now_ms
         stats["sim_queue_compactions"] = self.world.sim.queue.compactions
+        tracer = self.world.sim.tracer
+        if tracer is not None:
+            stats["latency_ms"] = tracer.latency_summary()
+            stats["spans_kept"] = len(tracer.spans)
+            stats["spans_dropped"] = tracer.dropped
         return stats
+
+    def enable_span_tracing(self, max_spans: Optional[int] = None):
+        """Attach a span tracer to the session's simulator and return
+        it (see :mod:`repro.perf.spans`).  Idempotent: an existing
+        tracer is returned unchanged."""
+        from ..perf.spans import DEFAULT_MAX_SPANS, enable_tracing
+        sim = self.world.sim
+        if sim.tracer is not None:
+            return sim.tracer
+        return enable_tracing(
+            sim, max_spans=DEFAULT_MAX_SPANS if max_spans is None
+            else max_spans)
 
     # ------------------------------------------------------------------
     # History-dependent triggers (section 1)

@@ -67,6 +67,11 @@ class MessageRouter:
                 failure.final_dest = message.origin
                 self.route_send(failure)
             return
+        tracer = lpm.sim.tracer
+        if tracer is not None and message.trace is not None:
+            tracer.instant("hop:%s" % message.kind.value, host=lpm.name,
+                           parent=message.trace, cat="route",
+                           next_hop=next_hop)
         try:
             lpm.transport.send_on_link(links[next_hop], message,
                                        forwarding=True)

@@ -88,13 +88,31 @@ class RequestChannel:
                      on_reply: Callable[[Optional[Message]], None],
                      timeout_ms: Optional[float] = None,
                      route: Optional[List[str]] = None,
-                     broadcast=None, use_handler: bool = True) -> None:
+                     broadcast=None, use_handler: bool = True,
+                     trace_parent=None) -> None:
         """Send one request toward ``dest``; ``on_reply`` gets the reply
         message, or None on timeout / unreachability.
 
         Blocking conversations occupy a handler process (section 6).
+        ``trace_parent`` is an optional span context the round-trip span
+        joins when span tracing is enabled.
         """
         lpm = self.lpm
+        tracer = lpm.sim.tracer
+        span = None
+        if tracer is not None:
+            # Opened before the unreachable-destination early returns so
+            # every outcome (reply, timeout, no route, dead link) closes
+            # the round-trip span and lands in the rpc_rtt histogram.
+            span = tracer.start("rpc:%s" % kind.value, host=lpm.name,
+                                parent=trace_parent, cat="rpc", dest=dest)
+            inner_reply = on_reply
+
+            def on_reply(reply, _inner=inner_reply, _span=span):
+                tracer.finish(
+                    _span, op="rpc_rtt",
+                    outcome="ok" if reply is not None else "failed")
+                _inner(reply)
         if timeout_ms is None:
             timeout_ms = lpm.config.request_timeout_ms
         if route is None:
@@ -119,7 +137,8 @@ class RequestChannel:
         message = Message(kind=kind, req_id=req_id, origin=lpm.name,
                           user=lpm.user, payload=payload,
                           route=list(route), final_dest=dest,
-                          broadcast=broadcast)
+                          broadcast=broadcast,
+                          trace=None if span is None else span.ctx())
 
         def timed_out() -> None:
             pending = self.pending.pop(req_id, None)

@@ -26,10 +26,24 @@ class ToolService:
     def __init__(self, lpm) -> None:
         self.lpm = lpm
 
+    @staticmethod
+    def _trace_ctx(message: Message):
+        """The serve span's context, for parenting downstream spans."""
+        span = getattr(message, "_span", None)
+        return None if span is None else span.ctx()
+
     def on_message(self, message: Message, endpoint) -> None:
         lpm = self.lpm
         if not lpm.is_running():
             return
+        tracer = lpm.sim.tracer
+        if tracer is not None:
+            # The serve span rides the request object (messages travel
+            # by reference in-sim) so ``reply`` can close it no matter
+            # which asynchronous path produced the answer.
+            message._span = tracer.start(
+                "serve:%s" % message.kind.value, host=lpm.name,
+                parent=message.trace, cat="serve")
         lpm._trace(TraceEventType.TOOL_REQUEST, kind=message.kind.value)
         handler = getattr(self, "_tool_" + message.kind.value, None)
         if handler is None:
@@ -40,12 +54,18 @@ class ToolService:
 
     def reply(self, endpoint, request: Message, payload: dict) -> None:
         lpm = self.lpm
+        tracer = lpm.sim.tracer
+        if tracer is not None:
+            span = getattr(request, "_span", None)
+            if span is not None and span.end_ms is None:
+                tracer.finish(span, ok=bool(payload.get("ok")))
         if not endpoint.open:
             return
         reply = Message(kind=MsgKind.TOOL_REPLY,
                         req_id=request.req_id, origin=lpm.name,
                         user=lpm.user, payload=payload,
-                        reply_to=request.req_id)
+                        reply_to=request.req_id,
+                        trace=request.trace)
         try:
             endpoint.send(reply, nbytes=message_size_bytes(reply),
                           extra_delay_ms=lpm._cpu(lpm.cost.tool_ipc_ms))
@@ -84,12 +104,14 @@ class ToolService:
     def _tool_tool_snapshot(self, message: Message, endpoint) -> None:
         self.lpm.gather.start(
             "snapshot",
-            lambda result: self.reply(endpoint, message, result))
+            lambda result: self.reply(endpoint, message, result),
+            trace_parent=self._trace_ctx(message))
 
     def _tool_tool_rstats(self, message: Message, endpoint) -> None:
         self.lpm.gather.start(
             "rstats",
-            lambda result: self.reply(endpoint, message, result))
+            lambda result: self.reply(endpoint, message, result),
+            trace_parent=self._trace_ctx(message))
 
     def _tool_tool_create(self, message: Message, endpoint) -> None:
         lpm = self.lpm
@@ -135,7 +157,8 @@ class ToolService:
                     endpoint, message,
                     reply.payload if reply is not None else
                     {"ok": False, "error": "no response from %s"
-                                           % (target,)}))
+                                           % (target,)}),
+                trace_parent=self._trace_ctx(message))
 
         lpm.ensure_sibling(target).then(remote_ready)
 
@@ -180,7 +203,8 @@ class ToolService:
                 self.reply(endpoint, message, reply.payload)
 
             lpm.send_request(target_host, MsgKind.CONTROL,
-                             {"pid": pid, "action": action}, on_reply)
+                             {"pid": pid, "action": action}, on_reply,
+                             trace_parent=self._trace_ctx(message))
 
         if target_host in lpm.siblings or \
                 lpm.router.cache.route_to(target_host) is not None:
@@ -206,7 +230,8 @@ class ToolService:
                 return
             send_control()
 
-        lpm.locate(target_host, pid, located)
+        lpm.locate(target_host, pid, located,
+                   trace_parent=self._trace_ctx(message))
 
     def _tool_tool_adopt(self, message: Message, endpoint) -> None:
         lpm = self.lpm

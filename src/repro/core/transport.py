@@ -285,6 +285,12 @@ class SiblingTransport:
         lpm = self.lpm
         cost = lpm.cost.forward_ms if forwarding else lpm.cost.sibling_send_ms
         nbytes = message_size_bytes(message)
+        tracer = lpm.sim.tracer
+        if tracer is not None and message.trace is not None:
+            tracer.instant("send:%s" % message.kind.value, host=lpm.name,
+                           parent=message.trace, cat="xport",
+                           peer=link.peer, nbytes=nbytes,
+                           forwarded=forwarding)
         lpm._trace(TraceEventType.SIBLING_MESSAGE, peer=link.peer,
                    kind=message.kind.value, nbytes=nbytes,
                    forwarded=forwarding)

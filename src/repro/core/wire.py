@@ -52,18 +52,24 @@ def encode(message: Message) -> bytes:
         PERF.encode_cache_hits += 1
         return cached[1]
     PERF.encodes_performed += 1
+    fields = {
+        "kind": message.kind.value,
+        "req_id": message.req_id,
+        "origin": message.origin,
+        "user": message.user,
+        "payload": message.payload,
+        "route": message.route,
+        "reply_to": message.reply_to,
+        "broadcast": _broadcast_to_dict(message.broadcast),
+        "final_dest": message.final_dest,
+    }
+    # The span context is genuinely absent (not null) when tracing is
+    # off, so untraced runs produce byte-identical encodings — and
+    # therefore identical simulated byte charges — to pre-span builds.
+    if message.trace is not None:
+        fields["trace"] = message.trace
     try:
-        body = json.dumps({
-            "kind": message.kind.value,
-            "req_id": message.req_id,
-            "origin": message.origin,
-            "user": message.user,
-            "payload": message.payload,
-            "route": message.route,
-            "reply_to": message.reply_to,
-            "broadcast": _broadcast_to_dict(message.broadcast),
-            "final_dest": message.final_dest,
-        }, sort_keys=True, separators=(",", ":"))
+        body = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     except (TypeError, ValueError) as exc:
         raise ReproError(
             "unserialisable payload in %s: %s" % (message.kind, exc)) from exc
@@ -80,7 +86,8 @@ def decode(data: bytes) -> Message:
                    payload=raw["payload"], route=list(raw["route"]),
                    reply_to=raw["reply_to"],
                    broadcast=_broadcast_from_dict(raw["broadcast"]),
-                   final_dest=raw["final_dest"])
+                   final_dest=raw["final_dest"],
+                   trace=raw.get("trace"))
 
 
 def message_size_bytes(message: Message) -> int:

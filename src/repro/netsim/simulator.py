@@ -27,6 +27,9 @@ class Simulator:
         self._seq = 0
         self._events_run = 0
         self._running = False
+        #: Optional :class:`repro.perf.spans.SpanTracer`; None keeps
+        #: every instrumentation site zero-cost.
+        self.tracer = None
 
     @property
     def now_ms(self) -> float:

@@ -221,7 +221,7 @@ class StreamConnection:
         floor = self._last_delivery_ms[key]
         arrival = max(arrival, floor)
         self._last_delivery_ms[key] = arrival
-        self._inflight[key].append((arrival, payload))
+        self._inflight[key].append((arrival, payload, self.sim.now_ms))
         if self._delivery_timer[key] is None:
             self._delivery_timer[key] = self.sim.schedule_at(
                 arrival, self._deliver_due, peer,
@@ -242,13 +242,14 @@ class StreamConnection:
         """
         key = id(peer)
         self._delivery_timer[key] = None
-        queue: Deque[Tuple[float, object]] = self._inflight[key]
+        queue: Deque[Tuple[float, object, float]] = self._inflight[key]
         now = self.sim.now_ms
         stats = self.network.stats
+        tracer = self.sim.tracer
         PERF.stream_batched_deliveries += 1
         stats.stream_delivery_batches += 1
         while queue and queue[0][0] <= now:
-            _, payload = queue.popleft()
+            _, payload, sent_ms = queue.popleft()
             PERF.stream_segments_drained += 1
             if not self.established or not peer.open:
                 stats.stream_deliveries_suppressed += 1
@@ -258,6 +259,9 @@ class StreamConnection:
                 # The segment arrives at a dead host.
                 stats.stream_deliveries_suppressed += 1
                 continue
+            if tracer is not None:
+                # Send-to-delivery lag: queueing + wire + in-order floor.
+                tracer.record("stream_lag", now - sent_ms)
             if peer.on_message is not None:
                 peer.on_message(payload, peer)
         # A callback may have closed the circuit (queue cleared) or sent

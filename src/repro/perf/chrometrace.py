@@ -1,0 +1,91 @@
+"""Chrome trace-event JSON export for span traces.
+
+Converts a :class:`~repro.perf.spans.SpanTracer`'s retained spans into
+the Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON
+object understood by Perfetto, ``chrome://tracing``, and Speedscope).
+The mapping:
+
+* one trace-event *process* per simulated host (``process_name``
+  metadata carries the host name),
+* one *thread* lane per span category on that host (tool / serve /
+  rpc / gather / broadcast / route / xport), named via ``thread_name``
+  metadata,
+* timed spans become complete (``"ph": "X"``) events, instants become
+  thread-scoped instant (``"ph": "i"``) events,
+* timestamps are simulated microseconds (the format's native unit);
+  span/trace/parent ids ride in ``args`` so causality survives into
+  the viewer's query panel.
+
+Load the file at https://ui.perfetto.dev — see ``docs/OBSERVABILITY.md``
+for a walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+#: Stable lane order per host; unknown categories land after these.
+_CATEGORY_LANES = ("tool", "serve", "rpc", "gather", "broadcast",
+                   "route", "xport")
+
+
+def _lane_of(cat: str) -> int:
+    try:
+        return _CATEGORY_LANES.index(cat) + 1
+    except ValueError:
+        return len(_CATEGORY_LANES) + 1
+
+
+def chrome_trace_events(tracer) -> List[dict]:
+    """The ``traceEvents`` list for a tracer's retained spans."""
+    pid_of: Dict[str, int] = {host: index + 1
+                              for index, host in enumerate(tracer.hosts())}
+    events: List[dict] = []
+    lanes_seen = set()
+    for host, pid in sorted(pid_of.items()):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": host}})
+    for span in tracer.spans:
+        pid = pid_of[span.host]
+        tid = _lane_of(span.cat)
+        if (pid, tid) not in lanes_seen:
+            lanes_seen.add((pid, tid))
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": span.cat}})
+        args = dict(span.args or ())
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event = {"name": span.name, "cat": span.cat, "pid": pid,
+                 "tid": tid, "ts": round(span.start_ms * 1000.0, 3),
+                 "args": args}
+        if span.instant:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            end_ms = span.end_ms if span.end_ms is not None \
+                else tracer.sim.now_ms
+            event["dur"] = round((end_ms - span.start_ms) * 1000.0, 3)
+        events.append(event)
+    return events
+
+
+def chrome_trace(tracer) -> dict:
+    """The full JSON-object form of the trace."""
+    return {"traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "simulated",
+                          "spans_dropped": tracer.dropped}}
+
+
+def write_chrome_trace(tracer, path: str) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    trace = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=None, separators=(",", ":"),
+                  sort_keys=True)
+        handle.write("\n")
+    return len(trace["traceEvents"])

@@ -94,6 +94,17 @@ Load average (``repro.unixsim.loadavg``):
 ``loadavg_idle_skips``
     Lazy integrations skipped because the average already equals the
     runnable count (idle or fully-converged hosts), avoiding an exp().
+
+Span tracing (``repro.perf.spans``):
+
+``spans_started``
+    Spans opened (including instants) while a tracer was attached.
+``spans_finished``
+    Spans closed and retained (or dropped at the retention cap).
+``histogram_records``
+    Durations recorded into the operation-class latency histograms
+    (rpc round-trip, broadcast settle, gather completion, stream
+    delivery lag, tool calls).
 """
 
 from __future__ import annotations
@@ -122,6 +133,9 @@ _COUNTERS = (
     "gather_records_merged",
     "route_invalidation_scans",
     "loadavg_idle_skips",
+    "spans_started",
+    "spans_finished",
+    "histogram_records",
 )
 
 

@@ -1,0 +1,93 @@
+"""Fixed-bucket latency histograms for the span-tracing layer.
+
+A :class:`LatencyHistogram` accumulates simulated-millisecond durations
+into a fixed geometric bucket ladder (no allocation per record, stable
+memory regardless of sample count) and answers percentile queries by
+walking the cumulative counts.  Percentiles are bucket-resolution
+estimates: the reported value is the upper bound of the bucket the
+requested rank falls into, clamped to the exact observed maximum so a
+p99 can never exceed the slowest sample actually seen.
+
+The bucket ladder spans 0.1 ms to ~200 s doubling each step — wide
+enough for every operation class in the simulator (tool IPC is
+sub-millisecond; a 40-host gather settles in seconds) while keeping the
+ladder at 22 buckets plus one overflow slot.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional
+
+#: Upper bounds (ms) of the fixed bucket ladder; one overflow bucket
+#: follows the last bound.
+BUCKET_BOUNDS_MS = tuple(0.1 * (2.0 ** i) for i in range(22))
+
+
+class LatencyHistogram:
+    """Counts of durations per fixed bucket, plus exact extrema."""
+
+    __slots__ = ("counts", "count", "sum_ms", "min_ms", "max_ms")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.min_ms: Optional[float] = None
+        self.max_ms: Optional[float] = None
+
+    def record(self, value_ms: float) -> None:
+        """Add one duration (negative values clamp to zero)."""
+        if value_ms < 0.0:
+            value_ms = 0.0
+        self.counts[bisect_left(BUCKET_BOUNDS_MS, value_ms)] += 1
+        self.count += 1
+        self.sum_ms += value_ms
+        if self.min_ms is None or value_ms < self.min_ms:
+            self.min_ms = value_ms
+        if self.max_ms is None or value_ms > self.max_ms:
+            self.max_ms = value_ms
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Bucket-resolution estimate of the ``q`` quantile (0 < q <= 1).
+
+        Returns None when the histogram is empty.  The estimate is the
+        upper bound of the bucket holding the requested rank, clamped
+        to the observed extrema.
+        """
+        if self.count == 0:
+            return None
+        target = max(1, int(q * self.count + 0.999999))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index >= len(BUCKET_BOUNDS_MS):
+                    return self.max_ms
+                bound = BUCKET_BOUNDS_MS[index]
+                if self.max_ms is not None and bound > self.max_ms:
+                    return self.max_ms
+                if self.min_ms is not None and bound < self.min_ms:
+                    return self.min_ms
+                return bound
+        return self.max_ms  # pragma: no cover — cumulative covers count
+
+    def summary(self) -> dict:
+        """The stats block ``perf_stats()`` and ``repro stats`` print."""
+        if self.count == 0:
+            return {"count": 0, "mean_ms": None, "min_ms": None,
+                    "max_ms": None, "p50_ms": None, "p95_ms": None,
+                    "p99_ms": None}
+        return {
+            "count": self.count,
+            "mean_ms": round(self.sum_ms / self.count, 3),
+            "min_ms": round(self.min_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "p50_ms": round(self.percentile(0.50), 3),
+            "p95_ms": round(self.percentile(0.95), 3),
+            "p99_ms": round(self.percentile(0.99), 3),
+        }
+
+    def __repr__(self) -> str:
+        return "LatencyHistogram(count=%d, sum=%.3f ms)" % (self.count,
+                                                            self.sum_ms)

@@ -1,0 +1,221 @@
+"""Causal span tracing for the system itself.
+
+Where :mod:`repro.tracing` records the *paper-level* history (forks,
+exits, kernel messages — the events the PPM's users analyse), this
+module observes the *reproduction's own* machinery: one tool request
+becomes a single trace whose child spans cover the RPC round-trip, the
+hop-by-hop forwarding, the broadcast fan-out with its dedup decisions,
+the gather merges, and the transport sends — all timestamped in
+**simulated** time.
+
+Causality is carried by a span context ``[trace_id, span_id]``: a
+:class:`Span` started with a parent context joins that trace, and
+protocol messages propagate the context across hosts in the optional
+``Message.trace`` field (omitted from the wire encoding when tracing is
+off, so disabled runs stay byte-identical — see
+:mod:`repro.core.wire`).
+
+The tracer hangs off the :class:`~repro.netsim.simulator.Simulator`
+(``sim.tracer``, None by default).  Every instrumentation point guards
+with ``if sim.tracer is not None`` and does nothing else when tracing
+is disabled: no allocation, no message growth, no RNG use, no event
+scheduling.  When enabled, recording is pure bookkeeping — it never
+schedules events or perturbs the RNG stream, so a traced run is still
+deterministic (its simulated timings differ from an untraced run only
+because the span context genuinely rides the wire and is charged
+bytes).
+
+On top of raw spans the tracer keeps fixed-bucket latency histograms
+(:mod:`repro.perf.histogram`) for the key operation classes:
+
+``rpc_rtt``
+    Request send to reply arrival (or timeout/failure), per request.
+``broadcast_settle``
+    LOCATE broadcast start to first answer (or timeout).
+``gather_complete``
+    Gather start to the merged reply, per gather level.
+``stream_lag``
+    Stream-segment send to delivery (queueing + wire + in-order floor).
+``tool_call``
+    Tool request to reply as the subroutine library sees it.
+
+Export the collected spans with :mod:`repro.perf.chrometrace` and load
+the JSON in Perfetto (https://ui.perfetto.dev) — one process row per
+simulated host.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .counters import PERF
+from .histogram import LatencyHistogram
+
+#: The histogram operation classes (fixed: a typo'd op is a KeyError).
+OP_CLASSES = ("rpc_rtt", "broadcast_settle", "gather_complete",
+              "stream_lag", "tool_call")
+
+#: Bound on retained spans: one span is a few hundred bytes, so the
+#: default cap holds a long session while bounding a runaway trace.
+DEFAULT_MAX_SPANS = 200_000
+
+
+class Span:
+    """One timed operation in a trace.
+
+    ``parent_id`` is None only for trace roots; ``end_ms`` is None
+    while the span is open.  ``instant`` marks zero-duration point
+    events (a forwarding hop, a transport send, a dedup decision).
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "cat",
+                 "host", "start_ms", "end_ms", "args", "instant")
+
+    def __init__(self, trace_id: int, span_id: int,
+                 parent_id: Optional[int], name: str, cat: str,
+                 host: str, start_ms: float,
+                 args: Optional[dict] = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.host = host
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.args = args
+        self.instant = False
+
+    def ctx(self) -> List[int]:
+        """The propagatable span context (JSON-friendly)."""
+        return [self.trace_id, self.span_id]
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.end_ms is None:
+            return None
+        return self.end_ms - self.start_ms
+
+    def __repr__(self) -> str:
+        return "Span(%s#%d/%d %s@%s %.3f..%s)" % (
+            self.name, self.trace_id, self.span_id, self.cat, self.host,
+            self.start_ms,
+            "open" if self.end_ms is None else "%.3f" % self.end_ms)
+
+
+class SpanTracer:
+    """Collects spans and latency histograms for one simulator.
+
+    Timestamps come from the simulator clock, so spans measure
+    *simulated* time.  Finished spans (and instants) are retained up to
+    ``max_spans``; overflow increments ``dropped`` instead of growing
+    without bound.
+    """
+
+    def __init__(self, sim, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.sim = sim
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._next_trace = 0
+        self._next_span = 0
+        self.histograms: Dict[str, LatencyHistogram] = {
+            op: LatencyHistogram() for op in OP_CLASSES}
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, name: str, host: str, parent=None, cat: str = "op",
+              **args) -> Span:
+        """Open a span at the current simulated time.
+
+        ``parent`` is a span context (``[trace_id, span_id]``, e.g.
+        from ``Span.ctx()`` or ``Message.trace``); None starts a new
+        trace with this span as its root.
+        """
+        PERF.spans_started += 1
+        if parent is not None:
+            trace_id, parent_id = int(parent[0]), int(parent[1])
+        else:
+            self._next_trace += 1
+            trace_id, parent_id = self._next_trace, None
+        self._next_span += 1
+        return Span(trace_id, self._next_span, parent_id, name, cat,
+                    host, self.sim.now_ms, args or None)
+
+    def finish(self, span: Span, op: Optional[str] = None,
+               **args) -> float:
+        """Close a span at the current simulated time and retain it.
+
+        ``op`` optionally records the span's duration into the named
+        latency histogram.  Returns the duration in simulated ms.
+        """
+        PERF.spans_finished += 1
+        span.end_ms = self.sim.now_ms
+        if args:
+            span.args = dict(span.args or (), **args)
+        self._keep(span)
+        duration = span.end_ms - span.start_ms
+        if op is not None:
+            self.record(op, duration)
+        return duration
+
+    def instant(self, name: str, host: str, parent=None,
+                cat: str = "op", **args) -> Span:
+        """Record a zero-duration point event (hop, send, dedup drop)."""
+        span = self.start(name, host, parent=parent, cat=cat, **args)
+        PERF.spans_finished += 1
+        span.end_ms = span.start_ms
+        span.instant = True
+        self._keep(span)
+        return span
+
+    def _keep(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+
+    def record(self, op: str, value_ms: float) -> None:
+        """Add one duration to the named operation-class histogram."""
+        PERF.histogram_records += 1
+        self.histograms[op].record(value_ms)
+
+    def latency_summary(self) -> Dict[str, dict]:
+        """Per-operation-class count / mean / extrema / p50 / p95 / p99."""
+        return {op: hist.summary() for op, hist in self.histograms.items()}
+
+    # ------------------------------------------------------------------
+    # Queries (tests and exporters)
+    # ------------------------------------------------------------------
+
+    def traces(self) -> Dict[int, List[Span]]:
+        """Retained spans grouped by trace id."""
+        grouped: Dict[int, List[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def hosts(self) -> List[str]:
+        return sorted({span.host for span in self.spans})
+
+    def __repr__(self) -> str:
+        return "SpanTracer(spans=%d, dropped=%d)" % (len(self.spans),
+                                                     self.dropped)
+
+
+def enable_tracing(sim, max_spans: int = DEFAULT_MAX_SPANS) -> SpanTracer:
+    """Attach a fresh tracer to a simulator and return it."""
+    tracer = SpanTracer(sim, max_spans=max_spans)
+    sim.tracer = tracer
+    return tracer
+
+
+def disable_tracing(sim) -> None:
+    """Detach any tracer; the instrumentation reverts to zero-cost."""
+    sim.tracer = None

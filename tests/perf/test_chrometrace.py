@@ -1,0 +1,121 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+from repro.perf import (
+    SpanTracer,
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+
+class FakeSim:
+    def __init__(self):
+        self.now_ms = 0.0
+        self.tracer = None
+
+
+def small_trace():
+    """Two hosts, one timed span per category lane, one instant."""
+    sim = FakeSim()
+    tracer = SpanTracer(sim)
+    tool = tracer.start("tool:snapshot", host="alpha", cat="tool")
+    serve = tracer.start("serve:snapshot", host="beta",
+                         parent=tool.ctx(), cat="serve")
+    tracer.instant("hop:gather", host="beta", parent=tool.ctx(),
+                   cat="route", next_hop="alpha")
+    sim.now_ms = 4.25
+    tracer.finish(serve, ok=True)
+    sim.now_ms = 10.5
+    tracer.finish(tool, op="tool_call", outcome="ok")
+    return sim, tracer, tool, serve
+
+
+def events_by_ph(events):
+    grouped = {}
+    for event in events:
+        grouped.setdefault(event["ph"], []).append(event)
+    return grouped
+
+
+def test_one_process_row_per_host_sorted_from_one():
+    _sim, tracer, _tool, _serve = small_trace()
+    events = chrome_trace_events(tracer)
+    process_names = [e for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"]
+    assert [(e["pid"], e["args"]["name"]) for e in process_names] \
+        == [(1, "alpha"), (2, "beta")]
+
+
+def test_category_lanes_get_thread_names():
+    _sim, tracer, _tool, _serve = small_trace()
+    events = chrome_trace_events(tracer)
+    thread_names = {(e["pid"], e["tid"]): e["args"]["name"]
+                    for e in events
+                    if e["ph"] == "M" and e["name"] == "thread_name"}
+    # tool lane on alpha; serve and route lanes on beta.
+    assert set(thread_names.values()) == {"tool", "serve", "route"}
+    assert len({pid for pid, _tid in thread_names}) == 2
+
+
+def test_timed_spans_export_as_complete_events_in_microseconds():
+    _sim, tracer, tool, serve = small_trace()
+    grouped = events_by_ph(chrome_trace_events(tracer))
+    complete = {e["name"]: e for e in grouped["X"]}
+    assert complete["tool:snapshot"]["ts"] == 0.0
+    assert complete["tool:snapshot"]["dur"] == 10.5 * 1000.0
+    assert complete["serve:snapshot"]["dur"] == 4.25 * 1000.0
+    args = complete["serve:snapshot"]["args"]
+    assert args["trace_id"] == serve.trace_id
+    assert args["span_id"] == serve.span_id
+    assert args["parent_id"] == tool.span_id
+    assert args["ok"] is True
+    # The root has no parent_id key at all.
+    assert "parent_id" not in complete["tool:snapshot"]["args"]
+
+
+def test_instants_are_thread_scoped():
+    _sim, tracer, _tool, _serve = small_trace()
+    grouped = events_by_ph(chrome_trace_events(tracer))
+    (instant,) = grouped["i"]
+    assert instant["name"] == "hop:gather"
+    assert instant["s"] == "t"
+    assert "dur" not in instant
+    assert instant["args"]["next_hop"] == "alpha"
+
+
+def test_open_span_measured_to_sim_now():
+    sim = FakeSim()
+    tracer = SpanTracer(sim)
+    span = tracer.start("tool:hang", host="alpha", cat="tool")
+    tracer._keep(span)  # retained open, e.g. a timeout never fired
+    sim.now_ms = 2.0
+    (event,) = [e for e in chrome_trace_events(tracer) if e["ph"] == "X"]
+    assert event["dur"] == 2000.0
+
+
+def test_chrome_trace_object_shape():
+    _sim, tracer, _tool, _serve = small_trace()
+    trace = chrome_trace(tracer)
+    assert trace["displayTimeUnit"] == "ms"
+    assert trace["otherData"]["clock"] == "simulated"
+    assert trace["otherData"]["spans_dropped"] == 0
+    assert trace["traceEvents"] == chrome_trace_events(tracer)
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    _sim, tracer, _tool, _serve = small_trace()
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(tracer, str(path))
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    assert len(loaded["traceEvents"]) == count
+    assert loaded == chrome_trace(tracer)
+
+
+def test_empty_tracer_exports_valid_empty_trace(tmp_path):
+    tracer = SpanTracer(FakeSim())
+    path = tmp_path / "empty.json"
+    assert write_chrome_trace(tracer, str(path)) == 0
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    assert loaded["traceEvents"] == []

@@ -1,0 +1,92 @@
+"""Tests for the fixed-bucket latency histogram."""
+
+import pytest
+
+from repro.perf import BUCKET_BOUNDS_MS, LatencyHistogram
+
+
+def test_bucket_ladder_shape():
+    assert len(BUCKET_BOUNDS_MS) == 22
+    assert BUCKET_BOUNDS_MS[0] == 0.1
+    for lower, upper in zip(BUCKET_BOUNDS_MS, BUCKET_BOUNDS_MS[1:]):
+        assert upper == lower * 2.0
+    # Wide enough for the slowest operation class (a 40-host gather
+    # settles in seconds, not minutes).
+    assert BUCKET_BOUNDS_MS[-1] > 100_000.0
+
+
+def test_record_tracks_count_sum_and_extrema():
+    hist = LatencyHistogram()
+    for value in (1.0, 5.0, 3.0):
+        hist.record(value)
+    assert hist.count == 3
+    assert hist.sum_ms == 9.0
+    assert hist.min_ms == 1.0
+    assert hist.max_ms == 5.0
+
+
+def test_record_clamps_negative_to_zero():
+    hist = LatencyHistogram()
+    hist.record(-4.0)
+    assert hist.min_ms == 0.0
+    assert hist.sum_ms == 0.0
+    assert hist.count == 1
+
+
+def test_overflow_bucket_reports_exact_max():
+    hist = LatencyHistogram()
+    hist.record(BUCKET_BOUNDS_MS[-1] * 10.0)
+    assert hist.counts[-1] == 1
+    assert hist.percentile(0.5) == hist.max_ms
+
+
+def test_empty_percentile_and_summary():
+    hist = LatencyHistogram()
+    assert hist.percentile(0.5) is None
+    summary = hist.summary()
+    assert summary["count"] == 0
+    assert summary["p50_ms"] is None
+    assert summary["mean_ms"] is None
+
+
+def test_percentile_clamped_to_observed_max():
+    # 0.15 lands in the (0.1, 0.2] bucket; the bucket bound 0.2 would
+    # overstate the only sample ever seen, so the clamp reports 0.15.
+    hist = LatencyHistogram()
+    hist.record(0.15)
+    assert hist.percentile(0.5) == 0.15
+    assert hist.percentile(0.99) == 0.15
+
+
+def test_percentiles_are_monotone():
+    hist = LatencyHistogram()
+    for i in range(100):
+        hist.record(0.1 * (i + 1))
+    p50, p95, p99 = (hist.percentile(q) for q in (0.50, 0.95, 0.99))
+    assert p50 <= p95 <= p99
+    assert hist.min_ms <= p50
+    assert p99 <= hist.max_ms
+
+
+def test_percentile_rank_selection():
+    # Nine fast samples and one slow one: p50 stays in the fast
+    # bucket, p99 reaches the slow sample.
+    hist = LatencyHistogram()
+    for _ in range(9):
+        hist.record(0.05)
+    hist.record(50.0)
+    assert hist.percentile(0.50) == pytest.approx(0.1)
+    assert hist.percentile(0.99) == 50.0
+
+
+def test_summary_rounds_to_three_decimals():
+    hist = LatencyHistogram()
+    hist.record(1.23456)
+    hist.record(2.34567)
+    summary = hist.summary()
+    assert summary["count"] == 2
+    assert summary["mean_ms"] == round((1.23456 + 2.34567) / 2, 3)
+    assert summary["min_ms"] == 1.235
+    assert summary["max_ms"] == 2.346
+    assert set(summary) == {"count", "mean_ms", "min_ms", "max_ms",
+                            "p50_ms", "p95_ms", "p99_ms"}

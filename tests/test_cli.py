@@ -55,6 +55,46 @@ def test_shell_scripted(capsys):
     assert "job" in out
 
 
+def test_stats_prints_counters_and_percentiles(capsys):
+    assert main(["stats", "--seed", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "perf counters" in out
+    assert "latency histograms (simulated ms)" in out
+    for op in ("rpc_rtt", "broadcast_settle", "gather_complete",
+               "stream_lag", "tool_call"):
+        assert op in out
+    assert "p95_ms" in out
+
+
+def test_stats_latency_deterministic(capsys):
+    # The counter table can differ across in-process reruns (the
+    # process-global hmac memo survives PERF.reset), but the simulated
+    # latency percentiles must reproduce exactly.
+    marker = "latency histograms"
+    main(["stats", "--seed", "6"])
+    first = capsys.readouterr().out
+    main(["stats", "--seed", "6"])
+    second = capsys.readouterr().out
+    assert marker in first
+    assert first[first.index(marker):] == second[second.index(marker):]
+
+
+def test_trace_writes_loadable_chrome_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--seed", "4", "--out", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    trace = json.loads(out_path.read_text(encoding="utf-8"))
+    events = trace["traceEvents"]
+    assert events
+    assert trace["otherData"]["clock"] == "simulated"
+    hosts = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"ucbvax", "ucbarpa"} <= hosts
+    assert any(e["ph"] == "X" for e in events)
+
+
 def test_module_entry_point():
     result = subprocess.run(
         [sys.executable, "-m", "repro", "version"],

@@ -1,0 +1,118 @@
+"""Tests for the IPC activity analysis tool (`tracing.ipc`)."""
+
+from repro import Granularity, PPMClient, spinner_spec
+from repro.ids import GlobalPid
+from repro.tracing.events import TraceEvent, TraceEventType
+from repro.tracing.ipc import (
+    hottest_links,
+    ipc_by_kind,
+    ipc_matrix,
+    render_ipc_by_kind,
+    render_ipc_matrix,
+    render_user_ipc,
+    user_ipc_matrix,
+)
+
+from ..core.conftest import build_world
+
+
+def sibling(host, peer, kind="gather", nbytes=100, forwarded=False,
+            time_ms=0.0):
+    return TraceEvent(time_ms=time_ms,
+                      event_type=TraceEventType.SIBLING_MESSAGE,
+                      host=host,
+                      details={"peer": peer, "kind": kind,
+                               "nbytes": nbytes, "forwarded": forwarded})
+
+
+def user_ipc(gpid, peer, nbytes=10):
+    return TraceEvent(time_ms=0.0, event_type=TraceEventType.USER_IPC,
+                      host=gpid.host, gpid=gpid,
+                      details={"peer": peer, "nbytes": nbytes})
+
+
+EVENTS = [
+    sibling("alpha", "beta", kind="gather", nbytes=200),
+    sibling("alpha", "beta", kind="gather_reply", nbytes=900),
+    sibling("beta", "alpha", kind="gather_reply", nbytes=400),
+    sibling("alpha", "gamma", kind="locate", nbytes=150, forwarded=True),
+    # Non-sibling noise the reductions must ignore.
+    TraceEvent(time_ms=1.0, event_type=TraceEventType.FORK, host="alpha"),
+    user_ipc(GlobalPid("alpha", 5), "<beta,7>", nbytes=64),
+]
+
+
+def test_ipc_matrix_is_directed_and_aggregated():
+    matrix = ipc_matrix(EVENTS)
+    assert matrix[("alpha", "beta")] == {"messages": 2, "bytes": 1100,
+                                         "forwarded": 0}
+    assert matrix[("beta", "alpha")]["messages"] == 1
+    assert matrix[("alpha", "gamma")]["forwarded"] == 1
+    assert set(matrix) == {("alpha", "beta"), ("beta", "alpha"),
+                           ("alpha", "gamma")}
+
+
+def test_ipc_by_kind_sums_volume():
+    kinds = ipc_by_kind(EVENTS)
+    assert kinds["gather_reply"] == {"messages": 2, "bytes": 1300}
+    assert kinds["locate"]["messages"] == 1
+    assert "fork" not in kinds
+
+
+def test_hottest_links_are_undirected_and_ranked():
+    links = hottest_links(EVENTS)
+    assert links[0] == (("alpha", "beta"), 3)
+    assert links[1] == (("alpha", "gamma"), 1)
+    assert hottest_links(EVENTS, top=1) == [(("alpha", "beta"), 3)]
+
+
+def test_hottest_links_ties_break_by_name():
+    events = [sibling("b", "c"), sibling("a", "b")]
+    assert hottest_links(events) == [(("a", "b"), 1), (("b", "c"), 1)]
+
+
+def test_user_ipc_matrix_keys_by_gpid():
+    matrix = user_ipc_matrix(EVENTS)
+    assert matrix == {("<alpha,5>", "<beta,7>"):
+                      {"messages": 1, "bytes": 64}}
+
+
+def test_renderers_explain_empty_traces():
+    assert "granularity FINE" in render_ipc_matrix([])
+    assert "granularity FINE" in render_user_ipc([])
+    assert "granularity FINE" in render_ipc_by_kind([])
+
+
+def test_render_ipc_matrix_table():
+    text = render_ipc_matrix(EVENTS)
+    assert "IPC activity between sibling LPMs" in text
+    assert "alpha" in text and "gamma" in text
+    assert "1100" in text
+
+
+def test_render_ipc_by_kind_sorts_busiest_first():
+    text = render_ipc_by_kind(EVENTS)
+    assert text.index("gather_reply") < text.index("locate")
+
+
+def test_render_user_ipc_table():
+    text = render_user_ipc(EVENTS)
+    assert "IPC activity between user processes" in text
+    assert "<alpha,5>" in text
+
+
+def test_fine_granularity_session_feeds_the_ipc_tool():
+    # End to end: a real cross-host session at FINE granularity leaves
+    # sibling-message events the tool can reduce.
+    world = build_world()
+    world.recorder.set_granularity(Granularity.FINE)
+    client = PPMClient(world, "lfc", "alpha").connect()
+    client.create_process("job", host="beta", program=spinner_spec(None))
+    client.snapshot()
+    world.run_for(1_000.0)
+    matrix = ipc_matrix(world.recorder.events)
+    assert matrix, "FINE granularity should record sibling messages"
+    assert any(host == "alpha" for host, _peer in matrix)
+    total = sum(cell["bytes"] for cell in matrix.values())
+    assert total > 0
+    assert "sibling LPMs" in render_ipc_matrix(world.recorder.events)

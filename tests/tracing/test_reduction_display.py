@@ -144,6 +144,54 @@ def test_render_creation_steps_ordered():
     assert positions == sorted(positions)
 
 
+def test_reductions_on_empty_history():
+    assert event_counts([]) == {}
+    assert process_lifetimes([]) == {}
+    assert message_rate([], bucket_ms=50.0) == []
+    assert busiest_hosts([]) == []
+    assert per_command_usage([]) == {}
+
+
+def test_process_lifetimes_tolerate_out_of_order_events():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    gpid = GlobalPid("a", 9)
+    clock.now = 300.0
+    recorder.record(TraceEventType.EXIT, host="a", gpid=gpid)
+    clock.now = 100.0  # a late-arriving earlier record
+    recorder.record(TraceEventType.FORK, host="a", gpid=gpid)
+    lifetimes = process_lifetimes(recorder.events)
+    assert lifetimes[gpid] == (100.0, 300.0)
+
+
+def test_process_lifetimes_skip_hostonly_events():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    recorder.record(TraceEventType.LPM_CREATED, host="a")
+    assert process_lifetimes(recorder.events) == {}
+
+
+def test_per_command_usage_tolerates_missing_rusage():
+    class R:
+        def __init__(self, command, rusage):
+            self.command = command
+            self.rusage = rusage
+
+    usage = per_command_usage([R("cc", None), R("cc", {"forks": 3})])
+    assert usage["cc"]["count"] == 2
+    assert usage["cc"]["forks"] == 3
+    assert usage["cc"]["utime_ms"] == 0.0
+
+
+def test_busiest_hosts_honours_top():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    for host, repeats in (("a", 3), ("b", 2), ("c", 1)):
+        for _ in range(repeats):
+            recorder.record(TraceEventType.EXIT, host=host)
+    assert busiest_hosts(recorder.events, top=2) == [("a", 3), ("b", 2)]
+
+
 def test_render_timeline_limits():
     clock = Clock()
     recorder = TraceRecorder(clock)

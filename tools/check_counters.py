@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Counter-inventory lint: no undocumented perf counters.
+
+Every slot on :class:`repro.perf.counters.PerfCounters` must appear
+
+1. in the counter-inventory section of the ``repro.perf.counters``
+   module docstring (double-backquoted, with a description), and
+2. in ``docs/PERF.md``,
+
+so the inventory cannot silently drift as new subsystems add counters
+(the span-tracing layer alone added three).  The reverse direction is
+checked too: a counter documented in either place but missing from the
+registry is stale documentation.
+
+Run from the repo root::
+
+    python tools/check_counters.py
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import re
+
+from repro.perf import counters as counters_module  # noqa: E402
+
+#: Double-backquoted identifiers, the docstring inventory's convention.
+_DOCSTRING_NAME = re.compile(r"^``(\w+)``\s*$", re.MULTILINE)
+
+
+def check() -> List[str]:
+    errors: List[str] = []
+    slots = list(counters_module._COUNTERS)
+    docstring = counters_module.__doc__ or ""
+    documented = set(_DOCSTRING_NAME.findall(docstring))
+
+    perf_md_path = os.path.join(REPO_ROOT, "docs", "PERF.md")
+    try:
+        with open(perf_md_path, "r", encoding="utf-8") as handle:
+            perf_md = handle.read()
+    except OSError as exc:
+        return ["cannot read docs/PERF.md: %s" % (exc,)]
+
+    for name in slots:
+        if name not in documented:
+            errors.append(
+                "counter %r missing from the repro.perf.counters "
+                "docstring inventory" % (name,))
+        if "`%s`" % name not in perf_md and name not in perf_md:
+            errors.append(
+                "counter %r missing from docs/PERF.md" % (name,))
+    for name in sorted(documented):
+        if name not in slots:
+            errors.append(
+                "docstring inventory documents %r, which is not a "
+                "PerfCounters slot" % (name,))
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for error in errors:
+        print("counters: %s" % error)
+    if errors:
+        return 1
+    print("counters: ok (%d counters, docstring inventory and "
+          "docs/PERF.md both complete)"
+          % len(counters_module._COUNTERS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
