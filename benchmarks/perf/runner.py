@@ -40,6 +40,16 @@ runs through:
     ratio, and the span volume.  ``--trace-out`` additionally exports
     the traced run as Chrome trace-event JSON.
 
+``locate_200_hosts``
+    The steady-state LOCATE cost at scale (24 hosts under --smoke):
+    the full-mesh overlay, where every lookup floods all O(n²) edges,
+    against the ``sparse`` bounded-degree overlay, where the first
+    lookup floods O(n·k) edges and repeats ride the route cache (a
+    two-message unicast probe), repeat *broadcasts* ride the pruned
+    per-source tree (~n−1 forwards), and repeated failed lookups are
+    refused from the negative cache without any traffic.  Records
+    open-link counts and per-locate flood forwards for both shapes.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.runner [--smoke]
@@ -83,6 +93,8 @@ _REPORTED = (
     "gather_merges", "gather_records_merged",
     "stream_batched_deliveries", "stream_segments_drained",
     "stream_timer_rearms",
+    "tree_forwards", "tree_prunes", "tree_repairs",
+    "locate_cache_hits", "locate_cache_stale",
 )
 
 
@@ -411,6 +423,131 @@ def bench_span_overhead(smoke: bool = False, trace_out=None) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Scenario 7: steady-state LOCATE at scale — full mesh vs sparse
+# ----------------------------------------------------------------------
+
+def bench_locate(smoke: bool = False) -> dict:
+    n_hosts = 24 if smoke else 200
+    mesh_locates = 2 if smoke else 2      # each one refloods the mesh
+    sparse_locates = 5 if smoke else 8    # cached probes, nearly free
+
+    def open_links(world, names) -> int:
+        return sum(
+            len(world.lpms[(name, "lfc")].transport.authenticated())
+            for name in names if (name, "lfc") in world.lpms) // 2
+
+    def flood_forwards(world, names) -> int:
+        return sum(world.lpms[(name, "lfc")].broadcast.forwards
+                   for name in names if (name, "lfc") in world.lpms)
+
+    def build(policy):
+        config = PPMConfig(topology_policy=policy)
+        world = World(seed=31, config=config)
+        names = ["h%03d" % i for i in range(n_hosts)]
+        for name in names:
+            world.add_host(name, HostClass.VAX_780)
+        world.ethernet()
+        world.add_user("lfc", 1001)
+        install(world)
+        world.write_recovery_file("lfc", [names[0]])
+        origin = PPMClient(world, "lfc", names[0]).connect()
+        target = None
+        for name in names[1:]:
+            gpid = origin.create_process("job-%s" % name, host=name,
+                                         program=spinner_spec(None))
+            if name == names[-1]:
+                target = gpid
+        if policy == "full_mesh":
+            want = n_hosts * (n_hosts - 1) // 2
+            world.run_until_true(
+                lambda: open_links(world, names) == want,
+                timeout_ms=3_600_000.0)
+        else:
+            # Sparse: wait for membership gossip to converge, then let
+            # the debounced rewiring finish opening neighbor links.
+            world.run_until_true(
+                lambda: all(
+                    len(world.lpms[(name, "lfc")].topology.membership)
+                    == n_hosts for name in names),
+                timeout_ms=3_600_000.0)
+            world.run_for(10_000.0)
+        return world, names, target
+
+    def locate_seq(world, names, host, pid, count, policy) -> None:
+        # Sequential lookups from a non-origin host, each seeing the
+        # caches (route, tree, negative) the previous one left behind.
+        # The settle timeout must outlast the mesh duplicate storm: the
+        # caller's dispatcher drains ~n load-scaled duplicate arrivals
+        # before it can process the LOCATE_ACK.
+        lpm = world.lpms[(names[1], "lfc")]
+        results = []
+        for k in range(count):
+            lpm.locate(host, pid, results.append,
+                       timeout_ms=600_000.0)
+            world.run_until_true(lambda k=k: len(results) == k + 1,
+                                 timeout_ms=1_200_000.0)
+        assert all(r is not None for r in results), \
+            "locate failed on the %s overlay" % (policy,)
+
+    worlds = {policy: build(policy)
+              for policy in ("full_mesh", "sparse")}
+
+    def run() -> dict:
+        result = {"n_hosts": n_hosts}
+        per_locate = {}
+        for policy, (world, names, target) in worlds.items():
+            base = flood_forwards(world, names)
+            locate_seq(world, names, target.host, target.pid, 1, policy)
+            # The reply races the flood it rode in on: let duplicate
+            # arrivals and prune feedback drain before the steady
+            # window, so the tree is fully pruned when it's measured.
+            world.run_for(10_000.0)
+            warm = flood_forwards(world, names) - base
+            repeats = mesh_locates if policy == "full_mesh" \
+                else sparse_locates
+            locate_seq(world, names, target.host, target.pid, repeats,
+                       policy)
+            steady = flood_forwards(world, names) - base - warm
+            per_locate[policy] = steady / repeats
+            result.update({
+                "links_%s" % policy: open_links(world, names),
+                "warm_flood_forwards_%s" % policy: warm,
+                "steady_locates_%s" % policy: repeats,
+                "steady_forwards_per_locate_%s" % policy:
+                    round(per_locate[policy], 1),
+            })
+
+        # Sparse extras, after the steady window so they don't pollute
+        # it: a failed lookup on a routeless host floods once — in tree
+        # mode, ~n−1 forwards (PERF.tree_forwards) — and its repeat is
+        # refused from the negative cache with no traffic at all.
+        world, names, _ = worlds["sparse"]
+        lpm = world.lpms[(names[1], "lfc")]
+        miss_host = "h-gone"   # no such host: no route, so the lookup
+        before_miss = flood_forwards(world, names)  # must broadcast
+        misses = []
+        for k in range(2):
+            lpm.locate(miss_host, 99_999, misses.append)
+            world.run_until_true(lambda k=k: len(misses) == k + 1,
+                                 timeout_ms=120_000.0)
+        assert misses == [None, None]
+        result.update({
+            "miss_flood_forwards_sparse":
+                flood_forwards(world, names) - before_miss,
+            "link_reduction_x": round(
+                result["links_full_mesh"] /
+                max(1, result["links_sparse"]), 1),
+            "forward_reduction_x": round(
+                per_locate["full_mesh"] /
+                max(1.0, per_locate["sparse"]), 1),
+            "sim_ms_sparse": round(world.sim.now_ms, 3),
+        })
+        return result
+
+    return _measure(run)
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 
@@ -421,6 +558,7 @@ SCENARIOS = {
     "gather_merge_40": bench_gather_merge,
     "stream_flood": bench_stream_flood,
     "span_overhead": bench_span_overhead,
+    "locate_200_hosts": bench_locate,
 }
 
 

@@ -62,8 +62,25 @@ class PPMConfig:
 
     #: Sibling-graph policy: ``"on_demand"`` opens connections only when
     #: needed (the paper's design); ``"full_mesh"`` keeps all pairs
-    #: connected (the A3 ablation).
+    #: connected (the A3 ablation); ``"sparse"`` maintains a
+    #: bounded-degree ring-plus-chords overlay (with per-source
+    #: broadcast trees and cache-first LOCATE) so sessions scale past
+    #: ~100 hosts with O(n·k) links instead of O(n²).
     topology_policy: str = "on_demand"
+
+    #: Target degree of the ``"sparse"`` overlay (ring plus chords;
+    #: each LPM keeps about this many overlay links).
+    sparse_degree: int = 6
+
+    #: How long a failed LOCATE is remembered (the negative miss
+    #: cache): repeat lookups of a process the overlay already failed
+    #: to find are answered locally instead of re-flooding.  Only
+    #: consulted under the ``"sparse"`` policy.
+    locate_miss_ttl_ms: float = 30_000.0
+
+    #: How long a cache-first LOCATE probe (unicast along a cached
+    #: route) waits before falling back to the broadcast flood.
+    locate_probe_timeout_ms: float = 2_000.0
 
     #: Transport between sibling LPMs: ``"stream"`` (the paper's TCP
     #: virtual circuits) or ``"datagram"`` (the scalability alternative
@@ -122,10 +139,17 @@ class PPMConfig:
             raise ConfigError("handler_pool_max must be at least 1")
         if self.request_timeout_ms <= 0:
             raise ConfigError("request_timeout_ms must be positive")
-        if self.topology_policy not in ("on_demand", "full_mesh"):
+        if self.topology_policy not in ("on_demand", "full_mesh",
+                                        "sparse"):
             raise ConfigError(
-                "topology_policy must be 'on_demand' or 'full_mesh', got %r"
-                % (self.topology_policy,))
+                "topology_policy must be 'on_demand', 'full_mesh', or "
+                "'sparse', got %r" % (self.topology_policy,))
+        if self.sparse_degree < 2:
+            raise ConfigError("sparse_degree must be at least 2")
+        if self.locate_miss_ttl_ms < 0:
+            raise ConfigError("locate_miss_ttl_ms must be >= 0")
+        if self.locate_probe_timeout_ms <= 0:
+            raise ConfigError("locate_probe_timeout_ms must be positive")
         if self.transport not in ("stream", "datagram"):
             raise ConfigError(
                 "transport must be 'stream' or 'datagram', got %r"

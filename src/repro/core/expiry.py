@@ -88,6 +88,11 @@ class ExpiryMap:
         PERF.dedup_entries_expired += dropped
         return dropped
 
+    def discard(self, key: Hashable) -> None:
+        """Drop ``key`` immediately, if present.  Its queued FIFO
+        records are ignored when popped (entry already gone)."""
+        self._entries.pop(key, None)
+
     def clear(self) -> None:
         self._entries.clear()
         self._fifo.clear()

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from ..errors import ConnectionClosedError
 from ..tracing.events import TraceEventType
+from .expiry import ExpiryMap
 from .messages import Message, MsgKind
 from .routing import RouteCache
 
@@ -39,6 +40,11 @@ class MessageRouter:
     def __init__(self, lpm) -> None:
         self.lpm = lpm
         self.cache = RouteCache(lpm.name)
+        #: Negative LOCATE cache: ``(host, pid)`` lookups the overlay
+        #: recently failed to answer, retained for the configured TTL
+        #: so repeat lookups are refused locally instead of re-flooding.
+        self.locate_misses = ExpiryMap(lpm.config.locate_miss_ttl_ms,
+                                       lambda: lpm.sim.now_ms)
 
     # ------------------------------------------------------------------
     # Relaying
@@ -57,6 +63,11 @@ class MessageRouter:
         links = lpm.transport.links
         if next_hop is None or next_hop not in links or \
                 not links[next_hop].endpoint.open:
+            if next_hop is not None:
+                # The route references a link we no longer have: drop
+                # every cached route through that hop now, rather than
+                # leaving them to fail the same way on the next send.
+                self.invalidate_via(next_hop)
             # Cannot relay: report failure back toward the origin.
             if not message.is_reply:
                 failure = message.make_reply(
@@ -127,3 +138,18 @@ class MessageRouter:
         for dest in self.cache.invalidate_via(broken_peer):
             self.lpm._trace(TraceEventType.ROUTE_LEARNED, dest=dest,
                             forgotten=True)
+        # Broadcast-tree state through the peer is stale for the same
+        # reason the routes are (no-op outside the sparse policy).
+        self.lpm.treecast.on_link_lost(broken_peer)
+
+    # ------------------------------------------------------------------
+    # LOCATE result caching
+    # ------------------------------------------------------------------
+
+    def note_locate_miss(self, host: str, pid: int) -> None:
+        self.locate_misses.add((host, pid))
+
+    def locate_miss_fresh(self, host: str, pid: int) -> bool:
+        """Whether a LOCATE for ``(host, pid)`` failed within the
+        negative-cache TTL (so the flood can be skipped)."""
+        return (host, pid) in self.locate_misses

@@ -1,0 +1,285 @@
+"""Per-source broadcast trees over the sparse overlay.
+
+Flooding is the paper's graph-covering algorithm, and it stays the
+cold-start and repair fallback.  But a flood crosses *every* overlay
+edge, and under the ``sparse`` topology policy repeat broadcasts from
+the same source can do much better: the first flood already computes a
+spanning tree implicitly — each host's parent is the link its first
+copy arrived on (reverse-path acceptance), and every duplicate arrival
+identifies a non-tree edge.  This module makes that tree explicit:
+
+* a duplicate receiver answers the sender with ``TREE_PRUNE``, so the
+  sender strikes it from its candidate-children set;
+* once pruned, a repeat broadcast from that source is sent in *tree
+  mode* (``payload["tree"]``) and traverses only parent→child links —
+  about ``n − 1`` forwards instead of one per edge;
+* link loss tears the affected tree state down
+  (:meth:`SpanTreeTable.on_link_lost`, driven from
+  ``MessageRouter.invalidate_via``): the upstream end reports
+  ``TREE_REPAIR`` hop-by-hop toward the source, which falls back to a
+  fresh flood — rebuilding the tree — on its next broadcast.  A host
+  that receives a tree-mode broadcast without tree state (its state was
+  invalidated) likewise reports upward, so a silently broken tree heals
+  instead of silently shrinking coverage.
+
+Epochs make the prune feedback safe under interleaving: every broadcast
+stamp carries the source's monotonically increasing sequence number, a
+flood resets a host's tree entry to that epoch, and a prune only
+removes a child when it reports an epoch at least as new as the entry
+(stale prunes from a superseded flood are ignored).
+
+:class:`SpanTreeTable` is the pure per-host state machine (no sockets,
+no clock); :class:`TreeBroadcast` is the driver an LPM injects itself
+into, wiring the table to the transport, the broadcast engine, the
+counters, and span tracing.  Both are inert unless the session runs
+``topology_policy="sparse"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ConnectionClosedError
+from ..perf import PERF
+from .messages import Message, MsgKind
+
+
+class SourceTree:
+    """One host's view of one source's broadcast tree."""
+
+    __slots__ = ("parent", "children", "epoch")
+
+    def __init__(self, parent: Optional[str], children: Set[str],
+                 epoch: int) -> None:
+        self.parent = parent
+        self.children = children
+        self.epoch = epoch
+
+
+class SpanTreeTable:
+    """Per-source tree state for one host; a pure state machine."""
+
+    def __init__(self, self_host: str) -> None:
+        self.self_host = self_host
+        self._trees: Dict[str, SourceTree] = {}
+
+    def on_flood(self, source: str, parent: Optional[str], epoch: int,
+                 targets) -> None:
+        """A flood-mode broadcast from ``source`` was accepted from
+        ``parent`` (None at the source itself) and forwarded to
+        ``targets``: (re)build this host's entry at that epoch."""
+        self._trees[source] = SourceTree(parent, set(targets), epoch)
+
+    def on_prune(self, source: str, epoch: int, child: str) -> bool:
+        """``child`` reported our forward as a duplicate.  Honour it
+        when the report is at least as new as the entry (the source's
+        stamp sequence is monotone, so an older epoch means the prune
+        belongs to a flood this entry has already superseded)."""
+        tree = self._trees.get(source)
+        if tree is None or epoch < tree.epoch or \
+                child not in tree.children:
+            return False
+        tree.children.discard(child)
+        return True
+
+    def children(self, source: str) -> Optional[Set[str]]:
+        tree = self._trees.get(source)
+        return None if tree is None else tree.children
+
+    def parent(self, source: str) -> Optional[str]:
+        tree = self._trees.get(source)
+        return None if tree is None else tree.parent
+
+    def has_tree(self, source: str) -> bool:
+        return source in self._trees
+
+    def drop(self, source: str) -> None:
+        self._trees.pop(source, None)
+
+    def on_link_lost(self, peer: str) -> Tuple[List[str], List[str]]:
+        """Tear down every tree the lost ``peer`` participated in.
+
+        Returns ``(orphaned, severed)`` source lists: sources whose
+        *parent* was the peer (our whole entry is dropped — we wait to
+        be re-attached by the rebuild flood) and sources that lost the
+        peer as a *child* (the entry survives minus the child, but the
+        subtree behind it is unreachable, so the caller must report
+        ``TREE_REPAIR`` toward each source).
+        """
+        orphaned: List[str] = []
+        severed: List[str] = []
+        for source, tree in list(self._trees.items()):
+            if tree.parent == peer:
+                del self._trees[source]
+                orphaned.append(source)
+            elif peer in tree.children:
+                tree.children.discard(peer)
+                severed.append(source)
+        return orphaned, severed
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+
+class TreeBroadcast:
+    """The LPM-side driver: target selection, prune/repair messaging.
+
+    The LPM injects itself for identity, clock/tracer, transport sends,
+    and the broadcast engine; this layer holds no socket code.  Every
+    method is a no-op (plain flood semantics) unless the config policy
+    is ``sparse``.
+    """
+
+    def __init__(self, lpm) -> None:
+        self.lpm = lpm
+        self.table = SpanTreeTable(lpm.name)
+
+    @property
+    def active(self) -> bool:
+        return self.lpm.config.topology_policy == "sparse"
+
+    # ------------------------------------------------------------------
+    # Target selection
+    # ------------------------------------------------------------------
+
+    def origin_targets(self, stamp) -> Tuple[List[str], bool]:
+        """Where the source sends its own broadcast: the pruned child
+        set in tree mode when a tree is built, every authenticated
+        sibling (flood, recording the tree root) otherwise."""
+        lpm = self.lpm
+        peers = lpm.authenticated_siblings()
+        if not self.active:
+            return peers, False
+        children = self.table.children(lpm.name)
+        if children is not None:
+            targets = [peer for peer in peers if peer in children]
+            if targets:
+                PERF.tree_forwards += len(targets)
+                return targets, True
+            self.table.drop(lpm.name)
+        self.table.on_flood(lpm.name, None, stamp.seq, peers)
+        self._instant("tree:build", source=lpm.name, fanout=len(peers))
+        return peers, False
+
+    def on_found(self, message: Message, from_peer: str) -> None:
+        """The broadcast stopped here: this host answered it, so it
+        never forwarded.  Record a leaf entry (reverse-path parent, no
+        children) so a repeat tree-mode broadcast from this source
+        finds state here rather than reading the silence as a severed
+        tree and tearing it down with a repair.  An existing entry is
+        kept — its children were learned by actually forwarding, and
+        any stale ones are pruned away by duplicate feedback."""
+        if not self.active or message.broadcast is None:
+            return
+        if not self.table.has_tree(message.origin):
+            self.table.on_flood(message.origin, from_peer,
+                                message.broadcast.seq, [])
+
+    def forward_targets(self, message: Message,
+                        from_peer: str) -> List[str]:
+        """Where an accepted broadcast is forwarded onward from here."""
+        lpm = self.lpm
+        peers = [peer for peer in lpm.authenticated_siblings()
+                 if peer != from_peer]
+        if not self.active:
+            return peers
+        source = message.origin
+        epoch = message.broadcast.seq
+        if message.payload.get("tree"):
+            children = self.table.children(source)
+            if children is None:
+                # Our state was invalidated but upstream still lists us
+                # as a child: ask the source (via the arrival link, our
+                # de-facto parent) to rebuild with a flood.
+                self._send_repair(from_peer, source)
+                return []
+            targets = [peer for peer in peers if peer in children]
+            PERF.tree_forwards += len(targets)
+            return targets
+        self.table.on_flood(source, from_peer, epoch, peers)
+        return peers
+
+    # ------------------------------------------------------------------
+    # Prune feedback (duplicate-drop)
+    # ------------------------------------------------------------------
+
+    def on_duplicate(self, message: Message, from_peer: str) -> None:
+        """A broadcast arriving here was a duplicate: tell the sender
+        this edge is not a tree edge for that source."""
+        if not self.active or message.broadcast is None:
+            return
+        link = self.lpm.transport.link_to(from_peer)
+        if link is None:
+            return
+        notice = Message(kind=MsgKind.TREE_PRUNE,
+                         req_id=self.lpm.rpc.next_req_id(),
+                         origin=self.lpm.name, user=self.lpm.user,
+                         payload={"source": message.origin,
+                                  "epoch": message.broadcast.seq})
+        try:
+            self.lpm.transport.send_on_link(link, notice)
+        except ConnectionClosedError:
+            pass
+
+    def on_prune(self, message: Message, from_peer: str) -> None:
+        """A sibling reported our forward as a duplicate."""
+        if self.table.on_prune(message.payload.get("source", ""),
+                               message.payload.get("epoch", 0),
+                               from_peer):
+            PERF.tree_prunes += 1
+            self._instant("tree:prune",
+                          source=message.payload.get("source"),
+                          child=from_peer)
+
+    # ------------------------------------------------------------------
+    # Repair (link loss and stateless tree arrivals)
+    # ------------------------------------------------------------------
+
+    def on_link_lost(self, peer: str) -> None:
+        """Invalidate tree state through a lost link; report severed
+        subtrees toward their sources so they re-flood."""
+        if not self.active:
+            return
+        orphaned, severed = self.table.on_link_lost(peer)
+        for source in severed:
+            self._repair_toward(source)
+        if orphaned or severed:
+            self._instant("tree:invalidate", peer=peer,
+                          orphaned=len(orphaned), severed=len(severed))
+
+    def on_repair(self, message: Message, from_peer: str) -> None:
+        """A ``TREE_REPAIR {source}`` notice climbing toward the
+        source: at the source, drop the tree (the next broadcast
+        floods, rebuilding it); elsewhere relay it up our parent link."""
+        source = message.payload.get("source", "")
+        PERF.tree_repairs += 1
+        self._instant("tree:repair", source=source, reporter=from_peer)
+        self._repair_toward(source)
+
+    def _repair_toward(self, source: str) -> None:
+        lpm = self.lpm
+        if source == lpm.name:
+            self.table.drop(source)
+            return
+        parent = self.table.parent(source)
+        if parent is not None:
+            self._send_repair(parent, source)
+
+    def _send_repair(self, peer: str, source: str) -> None:
+        link = self.lpm.transport.link_to(peer)
+        if link is None:
+            return
+        notice = Message(kind=MsgKind.TREE_REPAIR,
+                         req_id=self.lpm.rpc.next_req_id(),
+                         origin=self.lpm.name, user=self.lpm.user,
+                         payload={"source": source})
+        try:
+            self.lpm.transport.send_on_link(link, notice)
+        except ConnectionClosedError:
+            pass
+
+    def _instant(self, name: str, **details) -> None:
+        tracer = self.lpm.sim.tracer
+        if tracer is not None:
+            tracer.instant(name, host=self.lpm.name, cat="tree",
+                           **details)

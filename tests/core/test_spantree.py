@@ -1,0 +1,195 @@
+"""Unit and end-to-end tests for per-source broadcast trees
+(repro.core.spantree)."""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, HostClass, spinner_spec
+from repro.core.spantree import SpanTreeTable
+from repro.perf import PERF
+
+from .conftest import build_world, lpm_of
+
+SPARSE = PPMConfig(topology_policy="sparse", sparse_degree=4)
+
+
+class TestSpanTreeTable:
+    def test_flood_builds_entry(self):
+        table = SpanTreeTable("me")
+        table.on_flood("src", "parent", 3, ["a", "b", "c"])
+        assert table.has_tree("src")
+        assert table.parent("src") == "parent"
+        assert table.children("src") == {"a", "b", "c"}
+        assert len(table) == 1
+
+    def test_source_entry_has_no_parent(self):
+        table = SpanTreeTable("src")
+        table.on_flood("src", None, 1, ["a"])
+        assert table.parent("src") is None
+
+    def test_prune_epoch_rules(self):
+        table = SpanTreeTable("me")
+        table.on_flood("src", "p", 5, ["a", "b"])
+        assert not table.on_prune("src", 4, "a"), "stale epoch honoured"
+        assert table.children("src") == {"a", "b"}
+        assert table.on_prune("src", 5, "a"), "same-epoch prune refused"
+        assert table.on_prune("src", 9, "b"), "newer-epoch prune refused"
+        assert table.children("src") == set()
+
+    def test_prune_unknown_source_or_child(self):
+        table = SpanTreeTable("me")
+        table.on_flood("src", "p", 5, ["a"])
+        assert not table.on_prune("other", 5, "a")
+        assert not table.on_prune("src", 5, "zz")
+
+    def test_reflood_resets_children_and_epoch(self):
+        table = SpanTreeTable("me")
+        table.on_flood("src", "p", 1, ["a", "b"])
+        table.on_prune("src", 1, "a")
+        table.on_flood("src", "q", 2, ["a", "c"])
+        assert table.parent("src") == "q"
+        assert table.children("src") == {"a", "c"}
+        assert not table.on_prune("src", 1, "c"), \
+            "prune from the superseded flood must be ignored"
+
+    def test_link_lost_orphans_and_severs(self):
+        table = SpanTreeTable("me")
+        table.on_flood("s1", "peer", 1, ["a"])      # parent lost
+        table.on_flood("s2", "other", 1, ["peer"])  # child lost
+        table.on_flood("s3", "other", 1, ["a"])     # untouched
+        orphaned, severed = table.on_link_lost("peer")
+        assert orphaned == ["s1"]
+        assert severed == ["s2"]
+        assert not table.has_tree("s1")
+        assert table.children("s2") == set()
+        assert table.children("s3") == {"a"}
+
+    def test_drop(self):
+        table = SpanTreeTable("me")
+        table.on_flood("src", "p", 1, ["a"])
+        table.drop("src")
+        assert not table.has_tree("src")
+        table.drop("src")  # idempotent
+
+
+EIGHT = [("h%02d" % i, HostClass.VAX_780) for i in range(8)]
+
+
+def build_sparse_session():
+    world = build_world(seed=19, config=SPARSE, host_specs=EIGHT,
+                        recovery=["h00"])
+    client = PPMClient(world, "lfc", "h00").connect()
+    gpids = {}
+    for name, _ in EIGHT[1:]:
+        gpids[name] = client.create_process("job-%s" % name, host=name,
+                                            program=spinner_spec(None))
+    world.run_for(30_000.0)  # membership gossip + rewiring settle
+    # (trailing-edge debounce: the wave fires REWIRE_DEBOUNCE_MS after
+    # the last membership growth, then links still need handshakes)
+    return world, gpids
+
+
+def run_locate(world, lpm, host, pid, timeout_ms=30_000.0):
+    results = []
+    lpm.locate(host, pid, results.append)
+    world.run_until_true(lambda: bool(results), timeout_ms=timeout_ms)
+    return results[0]
+
+
+class TestTreeBroadcastEndToEnd:
+    def test_first_flood_builds_tree_repeats_ride_it(self):
+        world, gpids = build_sparse_session()
+        names = [name for name, _ in EIGHT]
+        source = lpm_of(world, "h01")
+        target = gpids["h07"]
+        PERF.reset()
+        assert run_locate(world, source, target.host,
+                          target.pid) is not None
+        # The reply races the flood: duplicate arrivals and their prune
+        # feedback are still in flight when the lookup resolves.
+        world.run_for(5_000.0)
+        # The flood built a tree rooted at h01 on every reached host,
+        # and duplicate-drop feedback pruned the non-tree edges.
+        assert source.treecast.table.has_tree("h01")
+        assert PERF.tree_prunes > 0
+        assert PERF.tree_forwards == 0, "first flood must not be treed"
+        built = [name for name in names
+                 if lpm_of(world, name).treecast.table.has_tree("h01")]
+        assert built == names
+
+        # An unknown-pid lookup on a routeless host re-broadcasts from
+        # the same source: tree mode, about n − 1 forwards.
+        before = PERF.tree_forwards
+        assert run_locate(world, source, "nowhere", 99_999) is None
+        grown = PERF.tree_forwards - before
+        assert 0 < grown <= 2 * (len(names) - 1)
+        assert PERF.tree_repairs == 0
+
+    def test_found_host_keeps_leaf_state(self):
+        world, gpids = build_sparse_session()
+        source = lpm_of(world, "h01")
+        target = gpids["h07"]
+        PERF.reset()
+        assert run_locate(world, source, target.host,
+                          target.pid) is not None
+        world.run_for(5_000.0)  # drain the flood behind the reply
+        # The answering host never forwards, so it must record a leaf
+        # entry — otherwise the next tree broadcast reads its silence
+        # as a severed tree and tears the whole thing down.
+        leaf = lpm_of(world, "h07").treecast.table
+        assert leaf.has_tree("h01")
+        assert leaf.children("h01") == set()
+        assert run_locate(world, source, "nowhere", 99_999) is None
+        assert PERF.tree_repairs == 0
+        assert source.treecast.table.has_tree("h01")
+
+    def test_severed_link_falls_back_to_flood(self):
+        world, gpids = build_sparse_session()
+        source = lpm_of(world, "h01")
+        target = gpids["h07"]
+        PERF.reset()
+        assert run_locate(world, source, target.host,
+                          target.pid) is not None
+        world.run_for(5_000.0)  # drain the flood behind the reply
+        assert run_locate(world, source, target.host,
+                          target.pid) is not None  # cached probe
+        hits = PERF.locate_cache_hits
+        assert hits >= 1
+        # Sever the link the probe rides (first hop of the route) from
+        # the far side: the initiator of a close gets no on_close, so a
+        # remote-initiated close is what "link loss" looks like here.
+        route = source.router.outbound_route(target.host)
+        assert route is not None
+        lpm_of(world, route[1]).siblings["h01"].endpoint.close()
+        world.run_for(1_000.0)
+        # Tree state through the dead link is gone everywhere.
+        assert not source.treecast.table.has_tree("h01") or \
+            route[1] not in source.treecast.table.children("h01")
+        # The lookup still succeeds: stale probe or no route, then the
+        # flood fallback re-covers the graph and rebuilds the tree.
+        assert run_locate(world, source, target.host,
+                          target.pid) is not None
+        assert source.treecast.table.has_tree("h01")
+
+    def test_negative_cache_answers_locally(self):
+        world, gpids = build_sparse_session()
+        source = lpm_of(world, "h01")
+        PERF.reset()
+        assert run_locate(world, source, "nowhere", 4_242) is None
+        hits = PERF.locate_cache_hits
+        sent_before = source.broadcast.forwards
+        assert run_locate(world, source, "nowhere", 4_242) is None
+        assert PERF.locate_cache_hits == hits + 1
+        assert source.broadcast.forwards == sent_before, \
+            "negative-cached lookup still broadcast"
+
+    def test_counters_stay_zero_outside_sparse(self, world):
+        client = PPMClient(world, "lfc", "alpha").connect()
+        client.create_process("job", host="beta",
+                              program=spinner_spec(None))
+        lpm = lpm_of(world, "alpha")
+        PERF.reset()
+        assert run_locate(world, lpm, "beta", 99_999) is None
+        assert PERF.tree_forwards == 0
+        assert PERF.tree_prunes == 0
+        assert PERF.locate_cache_hits == 0
+        assert not lpm.treecast.table.has_tree("alpha")

@@ -1,0 +1,155 @@
+"""Unit tests for the sparse topology layer (repro.core.topology)."""
+
+import pytest
+
+from repro import PPMClient, PPMConfig, spinner_spec
+from repro.core.topology import chord_offsets, sparse_neighbors
+
+from .conftest import build_world, lpm_of
+
+SPARSE = {"topology_policy": "sparse", "sparse_degree": 4}
+
+
+def graph_of(hosts, degree):
+    return {host: sparse_neighbors(host, hosts, degree)
+            for host in hosts}
+
+
+def is_connected(graph):
+    if not graph:
+        return True
+    seen = set()
+    stack = [next(iter(graph))]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(graph[node] - seen)
+    return len(seen) == len(graph)
+
+
+class TestChordOffsets:
+    def test_tiny_sessions(self):
+        assert chord_offsets(0, 6) == []
+        assert chord_offsets(1, 6) == []
+        assert chord_offsets(2, 6) == [1]
+
+    def test_ring_offset_always_first(self):
+        for n in (2, 5, 24, 100, 200, 1000):
+            assert chord_offsets(n, 6)[0] == 1
+
+    def test_half_degree_bound(self):
+        for n in (2, 7, 24, 100, 200, 1000):
+            for degree in (2, 4, 6, 8):
+                offsets = chord_offsets(n, degree)
+                assert len(offsets) <= max(1, degree // 2)
+                assert len(offsets) == len(set(offsets))
+
+    def test_offsets_capped_at_half_ring(self):
+        for n in (10, 24, 200):
+            assert all(o <= n // 2 for o in chord_offsets(n, 6))
+
+    def test_diameter_under_broadcast_hop_limit(self):
+        # The chords must keep overlay depth well under the flood's
+        # hop bound, or a broadcast would be hop-limited before it
+        # covers the session.
+        from repro.core.broadcast import MAX_BROADCAST_HOPS
+        for n in (24, 100, 200, 500):
+            hosts = ["h%03d" % i for i in range(n)]
+            graph = graph_of(hosts, 6)
+            # BFS from one host; by symmetry of the offset pattern the
+            # eccentricity of any host matches up to rotation.
+            dist = {hosts[0]: 0}
+            frontier = [hosts[0]]
+            while frontier:
+                nxt = []
+                for node in frontier:
+                    for peer in graph[node]:
+                        if peer not in dist:
+                            dist[peer] = dist[node] + 1
+                            nxt.append(peer)
+                frontier = nxt
+            assert len(dist) == n
+            assert max(dist.values()) <= MAX_BROADCAST_HOPS // 2
+
+
+class TestSparseNeighbors:
+    def test_degree_bound(self):
+        hosts = ["h%03d" % i for i in range(200)]
+        for host in hosts[::17]:
+            assert len(sparse_neighbors(host, hosts, 6)) <= 6
+
+    def test_symmetry(self):
+        hosts = ["h%03d" % i for i in range(57)]
+        graph = graph_of(hosts, 6)
+        for host, neighbors in graph.items():
+            for peer in neighbors:
+                assert host in graph[peer], \
+                    "edge %s-%s is one-sided" % (host, peer)
+
+    def test_connected_across_sizes(self):
+        for n in (2, 3, 5, 8, 24, 63, 200):
+            hosts = ["h%03d" % i for i in range(n)]
+            assert is_connected(graph_of(hosts, 6)), \
+                "overlay disconnected at n=%d" % n
+
+    def test_deterministic_and_order_independent(self):
+        hosts = ["h%02d" % i for i in range(31)]
+        expected = sparse_neighbors("h07", hosts, 6)
+        assert sparse_neighbors("h07", reversed(hosts), 6) == expected
+        assert sparse_neighbors("h07", set(hosts), 6) == expected
+
+    def test_self_and_singleton(self):
+        assert sparse_neighbors("a", ["a"], 6) == set()
+        assert "h01" not in sparse_neighbors("h01",
+                                             ["h0%d" % i
+                                              for i in range(5)], 4)
+
+
+class TestTopologyManager:
+    def test_inert_outside_sparse_policy(self, world):
+        client = PPMClient(world, "lfc", "alpha").connect()
+        client.create_process("job", host="beta",
+                              program=spinner_spec(None))
+        lpm = lpm_of(world, "alpha")
+        assert not lpm.topology.active
+        lpm.topology.note_hosts(["beta", "gamma", "delta"])
+        # No timers armed, membership untouched beyond the fold-in
+        # guard, and known_hosts stays the historical wire contents.
+        assert lpm.topology._rewire_timer is None
+        assert lpm.topology.known_hosts() == \
+            lpm.transport.authenticated()
+
+    def test_membership_gossip_converges_and_rewires(self):
+        world = build_world(config=PPMConfig(**SPARSE),
+                            recovery=["alpha"])
+        client = PPMClient(world, "lfc", "alpha").connect()
+        for host in ("beta", "gamma", "delta"):
+            client.create_process("job-%s" % host, host=host,
+                                  program=spinner_spec(None))
+        world.run_for(10_000.0)
+        names = ["alpha", "beta", "gamma", "delta"]
+        for name in names:
+            lpm = lpm_of(world, name)
+            assert lpm.topology.membership == set(names)
+            assert sorted(lpm.topology.known_hosts()) == sorted(names)
+            # Every computed overlay neighbor has an open link.
+            for peer in lpm.topology.neighbors():
+                assert lpm.transport.link_to(peer) is not None, \
+                    "%s missing overlay link to %s" % (name, peer)
+
+    def test_gossip_skipped_when_membership_static(self):
+        world = build_world(config=PPMConfig(**SPARSE),
+                            recovery=["alpha"])
+        client = PPMClient(world, "lfc", "alpha").connect()
+        client.create_process("job", host="beta",
+                              program=spinner_spec(None))
+        world.run_for(10_000.0)
+        lpm = lpm_of(world, "alpha")
+        size = lpm.topology._gossiped_size
+        # Re-noting known hosts grows nothing: no new gossip round.
+        lpm.topology.note_hosts(["beta"])
+        world.run_for(1_000.0)
+        assert lpm.topology._gossiped_size == size
+        assert lpm.topology._gossip_timer is None

@@ -1,0 +1,171 @@
+"""Property-based tests for per-source broadcast trees.
+
+The tree protocol is exercised here as a pure message-passing
+simulation over the real :class:`~repro.core.spantree.SpanTreeTable`
+state machine and the real :func:`~repro.core.topology.sparse_neighbors`
+graphs — random membership, random degree, random flood arrival order —
+checking the invariants the live overlay depends on:
+
+* a flood reaches every host of a connected sparse overlay, and the
+  tree it leaves behind (after duplicate-drop pruning) reaches every
+  host too;
+* steady-state tree broadcasts cross at most ``2 · (n − 1)`` links
+  (exactly ``n − 1`` when no state was torn down in between);
+* after a tree link is severed and the repair climb reaches the
+  source, the fallback flood re-covers the remaining graph and
+  rebuilds a complete tree.
+"""
+
+import random
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spantree import SpanTreeTable
+from repro.core.topology import sparse_neighbors
+
+
+def build_overlay(n, degree):
+    hosts = ["h%03d" % i for i in range(n)]
+    graph = {host: sparse_neighbors(host, hosts, degree)
+             for host in hosts}
+    return hosts, graph
+
+
+def flood(tables, graph, source, epoch, rng):
+    """One flood-mode broadcast: FIFO delivery with randomised fanout
+    order, reverse-path parents, duplicate-drop prune feedback (the
+    wire protocol, minus the wire).  Returns the set of covered
+    hosts."""
+    covered = {source}
+    fanout = sorted(graph[source])
+    rng.shuffle(fanout)
+    tables[source].on_flood(source, None, epoch, fanout)
+    queue = deque((source, peer) for peer in fanout)
+    while queue:
+        sender, host = queue.popleft()
+        if host in covered:
+            # Duplicate: the receiver tells the sender this edge is
+            # not a tree edge (TREE_PRUNE).
+            tables[sender].on_prune(source, epoch, host)
+            continue
+        covered.add(host)
+        targets = sorted(graph[host] - {sender})
+        rng.shuffle(targets)
+        tables[host].on_flood(source, sender, epoch, targets)
+        queue.extend((host, peer) for peer in targets)
+    return covered
+
+
+def tree_broadcast(tables, graph, source):
+    """One tree-mode broadcast; returns (covered, forwards, stateless)
+    where stateless lists hosts that would have sent TREE_REPAIR."""
+    covered = {source}
+    forwards = 0
+    stateless = []
+    stack = [source]
+    while stack:
+        host = stack.pop()
+        children = tables[host].children(source) or set()
+        for child in sorted(children & graph[host]):
+            forwards += 1
+            if not tables[child].has_tree(source):
+                stateless.append(child)
+                continue
+            if child not in covered:
+                covered.add(child)
+                stack.append(child)
+    return covered, forwards, stateless
+
+
+def repair_climb(tables, source, reporter):
+    """Relay TREE_REPAIR parent-by-parent until the source drops its
+    tree (the live protocol's _repair_toward loop)."""
+    host = reporter
+    hops = 0
+    while host != source and hops <= len(tables):
+        parent = tables[host].parent(source)
+        if parent is None:
+            return
+        host = parent
+        hops += 1
+    tables[source].drop(source)
+
+
+@given(n=st.integers(min_value=2, max_value=64),
+       degree=st.sampled_from([2, 4, 6]),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_flood_then_tree_covers_every_host(n, degree, seed):
+    hosts, graph = build_overlay(n, degree)
+    tables = {host: SpanTreeTable(host) for host in hosts}
+    rng = random.Random(seed)
+    source = rng.choice(hosts)
+
+    assert flood(tables, graph, source, epoch=1, rng=rng) == set(hosts)
+    covered, forwards, stateless = tree_broadcast(tables, graph, source)
+    assert covered == set(hosts), "pruned tree lost hosts"
+    assert stateless == []
+    # Steady state: at most 2(n−1) links; with no interleaving churn
+    # the pruned tree is exact.
+    assert forwards <= 2 * (n - 1)
+    assert forwards == n - 1
+
+
+@given(n=st.integers(min_value=3, max_value=48),
+       degree=st.sampled_from([2, 4, 6]),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_severed_tree_link_heals_by_reflood(n, degree, seed):
+    hosts, graph = build_overlay(n, degree)
+    tables = {host: SpanTreeTable(host) for host in hosts}
+    rng = random.Random(seed)
+    source = rng.choice(hosts)
+    flood(tables, graph, source, epoch=1, rng=rng)
+
+    # Sever a random tree edge (parent -> child).
+    child = rng.choice([h for h in hosts
+                        if tables[h].parent(source) is not None])
+    parent = tables[child].parent(source)
+    graph[parent] = graph[parent] - {child}
+    graph[child] = graph[child] - {parent}
+    for end, lost in ((parent, child), (child, parent)):
+        orphaned, severed = tables[end].on_link_lost(lost)
+        for src in severed:
+            repair_climb(tables, source=src, reporter=end)
+    # The ring keeps the remaining graph connected (only one edge is
+    # gone), but the tree is now broken: the next broadcast must fall
+    # back to a flood...
+    assert not tables[source].has_tree(source), \
+        "repair climb failed to reach the source"
+    covered = flood(tables, graph, source, epoch=2, rng=rng)
+    assert covered == set(hosts), "fallback flood lost hosts"
+    # ...and that flood rebuilds a complete tree again.
+    covered, forwards, stateless = tree_broadcast(tables, graph, source)
+    assert covered == set(hosts)
+    assert stateless == []
+    assert forwards <= 2 * (n - 1)
+
+
+@given(n=st.integers(min_value=2, max_value=48),
+       degree=st.sampled_from([2, 4, 6]),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_stale_prunes_never_break_coverage(n, degree, seed):
+    """Prunes from a superseded flood arrive late: the epoch rule must
+    ignore them, keeping the newer tree complete."""
+    hosts, graph = build_overlay(n, degree)
+    tables = {host: SpanTreeTable(host) for host in hosts}
+    rng = random.Random(seed)
+    source = rng.choice(hosts)
+    flood(tables, graph, source, epoch=1, rng=rng)
+    # Replay every epoch-1 prune again after the epoch-2 flood: each
+    # must be refused (epoch < entry epoch) or harmless.
+    flood(tables, graph, source, epoch=2, rng=rng)
+    for host in hosts:
+        for peer in sorted(graph[host]):
+            tables[host].on_prune(source, 1, peer)
+    covered, _, stateless = tree_broadcast(tables, graph, source)
+    assert covered == set(hosts)
+    assert stateless == []
