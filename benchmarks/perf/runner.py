@@ -49,12 +49,20 @@ runs through:
     per-source tree (~n−1 forwards), and repeated failed lookups are
     refused from the negative cache without any traffic.  Records
     open-link counts and per-locate flood forwards for both shapes.
+    Harness-based (``benchmarks.perf.scenarios``): honours ``--shards``.
+
+``locate_500_hosts``
+    The sparse overlay alone at 500 hosts (48 under --smoke) on a
+    two-level hub topology — 10 fully meshed backbone hosts with the
+    rest hanging off them, O(n) physical links.  The scale the lockstep
+    sharding exists for; honours ``--shards``.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.runner [--smoke]
         [--label before|after] [--output BENCH_core.json]
         [--budget-s SECONDS] [--trace-out trace.json]
+        [--shards K] [--check-identity] [--profile]
 
 Wall-clock and counter deltas are merged into ``BENCH_core.json`` at
 the repo root under the given label, so successive PRs accumulate a
@@ -63,6 +71,20 @@ assert the benchmarks still *run* without caring about timings;
 ``--budget-s`` additionally fails the run (exit status 2) when the
 summed measured wall time exceeds the budget, so a hot-path regression
 fails the build rather than slipping through.
+
+``--shards K`` runs the harness-based locate scenarios on K lockstep
+worker processes (``repro.netsim.parallel``); ``--check-identity``
+additionally replays them single-threaded and fails on any divergence
+in results or merged counters.  ``--profile`` wraps every scenario in
+cProfile and prints the top 20 cumulative entries next to its result
+(for a sharded scenario this profiles the coordinator process — the
+workers' time shows up inside the pipe receives).
+
+Every run also appends each scenario's wall time to
+``wall_history.json`` (keyed by smoke/full mode and shard count);
+under ``--smoke`` the run fails (exit status 3) when a scenario takes
+more than twice its best recorded time, so CI catches gross wall-clock
+regressions without timing full-size runs.
 """
 
 from __future__ import annotations
@@ -95,6 +117,7 @@ _REPORTED = (
     "stream_timer_rearms",
     "tree_forwards", "tree_prunes", "tree_repairs",
     "locate_cache_hits", "locate_cache_stale",
+    "shard_windows", "cross_shard_msgs", "barrier_waits",
 )
 
 
@@ -423,128 +446,61 @@ def bench_span_overhead(smoke: bool = False, trace_out=None) -> dict:
 
 
 # ----------------------------------------------------------------------
-# Scenario 7: steady-state LOCATE at scale — full mesh vs sparse
+# Scenarios 7/8: steady-state LOCATE at scale (harness-based, shardable)
 # ----------------------------------------------------------------------
 
-def bench_locate(smoke: bool = False) -> dict:
-    n_hosts = 24 if smoke else 200
-    mesh_locates = 2 if smoke else 2      # each one refloods the mesh
-    sparse_locates = 5 if smoke else 8    # cached probes, nearly free
+def _scenario_metrics(outcome) -> dict:
+    """Shape a :class:`ShardedOutcome` like :func:`_measure`'s dict."""
+    measure = outcome.measure
+    metrics = {"wall_s": round(measure["wall_s"], 4)}
+    counters = measure["counters"]
+    metrics.update({name: counters[name] for name in _REPORTED})
+    if isinstance(outcome.result, dict):
+        metrics.update(outcome.result)
+    metrics["shards"] = outcome.shards
+    if outcome.shards > 1:
+        metrics["barrier_rounds"] = outcome.barrier_rounds
+        metrics["cross_shard_ships"] = outcome.ships
+    return metrics
 
-    def open_links(world, names) -> int:
-        return sum(
-            len(world.lpms[(name, "lfc")].transport.authenticated())
-            for name in names if (name, "lfc") in world.lpms) // 2
 
-    def flood_forwards(world, names) -> int:
-        return sum(world.lpms[(name, "lfc")].broadcast.forwards
-                   for name in names if (name, "lfc") in world.lpms)
+def _bench_scenario(scenario, kwargs: dict, shards: int,
+                    check_identity: bool) -> dict:
+    from repro.netsim.parallel import identity_diff, run_scenario
 
-    def build(policy):
-        config = PPMConfig(topology_policy=policy)
-        world = World(seed=31, config=config)
-        names = ["h%03d" % i for i in range(n_hosts)]
-        for name in names:
-            world.add_host(name, HostClass.VAX_780)
-        world.ethernet()
-        world.add_user("lfc", 1001)
-        install(world)
-        world.write_recovery_file("lfc", [names[0]])
-        origin = PPMClient(world, "lfc", names[0]).connect()
-        target = None
-        for name in names[1:]:
-            gpid = origin.create_process("job-%s" % name, host=name,
-                                         program=spinner_spec(None))
-            if name == names[-1]:
-                target = gpid
-        if policy == "full_mesh":
-            want = n_hosts * (n_hosts - 1) // 2
-            world.run_until_true(
-                lambda: open_links(world, names) == want,
-                timeout_ms=3_600_000.0)
-        else:
-            # Sparse: wait for membership gossip to converge, then let
-            # the debounced rewiring finish opening neighbor links.
-            world.run_until_true(
-                lambda: all(
-                    len(world.lpms[(name, "lfc")].topology.membership)
-                    == n_hosts for name in names),
-                timeout_ms=3_600_000.0)
-            world.run_for(10_000.0)
-        return world, names, target
+    outcome = run_scenario(scenario, kwargs=kwargs, shards=shards)
+    metrics = _scenario_metrics(outcome)
+    if check_identity and shards > 1:
+        local = run_scenario(scenario, kwargs=kwargs, shards=1)
+        diffs = identity_diff(local, outcome)
+        metrics["identity_ok"] = not diffs
+        metrics["single_thread_wall_s"] = round(local.measure["wall_s"], 4)
+        if diffs:
+            raise AssertionError(
+                "%d-shard run diverged from single-threaded: %s"
+                % (shards, "; ".join(diffs)))
+    return metrics
 
-    def locate_seq(world, names, host, pid, count, policy) -> None:
-        # Sequential lookups from a non-origin host, each seeing the
-        # caches (route, tree, negative) the previous one left behind.
-        # The settle timeout must outlast the mesh duplicate storm: the
-        # caller's dispatcher drains ~n load-scaled duplicate arrivals
-        # before it can process the LOCATE_ACK.
-        lpm = world.lpms[(names[1], "lfc")]
-        results = []
-        for k in range(count):
-            lpm.locate(host, pid, results.append,
-                       timeout_ms=600_000.0)
-            world.run_until_true(lambda k=k: len(results) == k + 1,
-                                 timeout_ms=1_200_000.0)
-        assert all(r is not None for r in results), \
-            "locate failed on the %s overlay" % (policy,)
 
-    worlds = {policy: build(policy)
-              for policy in ("full_mesh", "sparse")}
+def bench_locate(smoke: bool = False, shards: int = 1,
+                 check_identity: bool = False) -> dict:
+    from .scenarios import locate_scenario
 
-    def run() -> dict:
-        result = {"n_hosts": n_hosts}
-        per_locate = {}
-        for policy, (world, names, target) in worlds.items():
-            base = flood_forwards(world, names)
-            locate_seq(world, names, target.host, target.pid, 1, policy)
-            # The reply races the flood it rode in on: let duplicate
-            # arrivals and prune feedback drain before the steady
-            # window, so the tree is fully pruned when it's measured.
-            world.run_for(10_000.0)
-            warm = flood_forwards(world, names) - base
-            repeats = mesh_locates if policy == "full_mesh" \
-                else sparse_locates
-            locate_seq(world, names, target.host, target.pid, repeats,
-                       policy)
-            steady = flood_forwards(world, names) - base - warm
-            per_locate[policy] = steady / repeats
-            result.update({
-                "links_%s" % policy: open_links(world, names),
-                "warm_flood_forwards_%s" % policy: warm,
-                "steady_locates_%s" % policy: repeats,
-                "steady_forwards_per_locate_%s" % policy:
-                    round(per_locate[policy], 1),
-            })
+    kwargs = dict(n_hosts=24 if smoke else 200,
+                  mesh_locates=2,                     # each refloods the mesh
+                  sparse_locates=5 if smoke else 8)   # cached, nearly free
+    return _bench_scenario(locate_scenario, kwargs, shards, check_identity)
 
-        # Sparse extras, after the steady window so they don't pollute
-        # it: a failed lookup on a routeless host floods once — in tree
-        # mode, ~n−1 forwards (PERF.tree_forwards) — and its repeat is
-        # refused from the negative cache with no traffic at all.
-        world, names, _ = worlds["sparse"]
-        lpm = world.lpms[(names[1], "lfc")]
-        miss_host = "h-gone"   # no such host: no route, so the lookup
-        before_miss = flood_forwards(world, names)  # must broadcast
-        misses = []
-        for k in range(2):
-            lpm.locate(miss_host, 99_999, misses.append)
-            world.run_until_true(lambda k=k: len(misses) == k + 1,
-                                 timeout_ms=120_000.0)
-        assert misses == [None, None]
-        result.update({
-            "miss_flood_forwards_sparse":
-                flood_forwards(world, names) - before_miss,
-            "link_reduction_x": round(
-                result["links_full_mesh"] /
-                max(1, result["links_sparse"]), 1),
-            "forward_reduction_x": round(
-                per_locate["full_mesh"] /
-                max(1.0, per_locate["sparse"]), 1),
-            "sim_ms_sparse": round(world.sim.now_ms, 3),
-        })
-        return result
 
-    return _measure(run)
+def bench_locate_500(smoke: bool = False, shards: int = 1,
+                     check_identity: bool = False) -> dict:
+    from .scenarios import locate_scenario
+
+    kwargs = dict(n_hosts=48 if smoke else 500,
+                  sparse_locates=5 if smoke else 8,
+                  policies=("sparse",),
+                  hubs=4 if smoke else 10)
+    return _bench_scenario(locate_scenario, kwargs, shards, check_identity)
 
 
 # ----------------------------------------------------------------------
@@ -559,10 +515,33 @@ SCENARIOS = {
     "stream_flood": bench_stream_flood,
     "span_overhead": bench_span_overhead,
     "locate_200_hosts": bench_locate,
+    "locate_500_hosts": bench_locate_500,
 }
 
+#: Scenarios that run through the shard harness and honour --shards.
+_SHARDABLE = ("locate_200_hosts", "locate_500_hosts")
 
-def run_all(smoke: bool = False, trace_out=None) -> dict:
+
+def _profiled(call):
+    """Run ``call()`` under cProfile; return (result, top-20 text)."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = call()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats(
+        "cumulative").print_stats(20)
+    return result, stream.getvalue()
+
+
+def run_all(smoke: bool = False, trace_out=None, shards: int = 1,
+            check_identity: bool = False, profile: bool = False) -> dict:
     results = {}
     for name, fn in SCENARIOS.items():
         print("running %s%s ..." % (name, " (smoke)" if smoke else ""),
@@ -574,12 +553,69 @@ def run_all(smoke: bool = False, trace_out=None) -> dict:
         # in this process next.
         PERF.reset()
         if name == "span_overhead":
-            results[name] = fn(smoke=smoke, trace_out=trace_out)
+            call = lambda: fn(smoke=smoke, trace_out=trace_out)  # noqa: E731
+        elif name in _SHARDABLE:
+            call = lambda fn=fn: fn(smoke=smoke, shards=shards,  # noqa: E731
+                                    check_identity=check_identity)
         else:
-            results[name] = fn(smoke=smoke)
+            call = lambda fn=fn: fn(smoke=smoke)  # noqa: E731
+        if profile:
+            results[name], report = _profiled(call)
+        else:
+            results[name], report = call(), None
         print("  %s" % (json.dumps(results[name], sort_keys=True),))
+        if report is not None:
+            print("  profile (top 20 cumulative):")
+            for line in report.splitlines():
+                print("    %s" % (line,))
     PERF.reset()
     return results
+
+
+# ----------------------------------------------------------------------
+# Wall-clock history (regression guard for --smoke)
+# ----------------------------------------------------------------------
+
+#: Entries kept per scenario; older measurements roll off.
+_HISTORY_LIMIT = 20
+#: A smoke scenario this fast is all noise; never flag it.
+_HISTORY_FLOOR_S = 0.5
+
+
+def update_wall_history(path: str, mode: str, results: dict,
+                        enforce: bool) -> list:
+    """Append each scenario's wall time to the history file and return
+    regressions: scenarios slower than 2x their best recorded time.
+
+    Histories are keyed by mode (smoke/full) and shard count — a
+    4-shard wall time is not comparable to a single-threaded one.  Only
+    ``enforce`` (smoke) runs report regressions, and only above an
+    absolute floor, so timing noise on sub-second scenarios never fails
+    a build.
+    """
+    data = {"schema": 1, "modes": {}}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    bucket = data.setdefault("modes", {}).setdefault(mode, {})
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    regressions = []
+    for name, metrics in results.items():
+        shard_count = metrics.get("shards", 1)
+        key = name if shard_count == 1 else "%s@%d" % (name, shard_count)
+        history = bucket.setdefault(key, [])
+        wall_s = metrics["wall_s"]
+        prior = [entry["wall_s"] for entry in history]
+        if enforce and prior:
+            best = min(prior)
+            if wall_s > 2.0 * best and wall_s > _HISTORY_FLOOR_S:
+                regressions.append((key, wall_s, best))
+        history.append({"wall_s": wall_s, "at": stamp})
+        del history[:-_HISTORY_LIMIT]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return regressions
 
 
 def merge_into(path: str, label: str, results: dict) -> None:
@@ -612,11 +648,34 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", default=None,
                         help="export the span_overhead scenario's traced "
                              "run as Chrome trace-event JSON to this path")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="lockstep worker processes for the "
+                             "harness-based locate scenarios (1 = "
+                             "single-threaded)")
+    parser.add_argument("--check-identity", action="store_true",
+                        help="replay sharded scenarios single-threaded "
+                             "and fail on any result/counter divergence")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each scenario; print the top 20 "
+                             "cumulative entries next to its result")
     args = parser.parse_args(argv)
-    results = run_all(smoke=args.smoke, trace_out=args.trace_out)
+    results = run_all(smoke=args.smoke, trace_out=args.trace_out,
+                      shards=args.shards,
+                      check_identity=args.check_identity,
+                      profile=args.profile)
     if not args.no_write and not args.smoke:
         merge_into(args.output, args.label, results)
         print("merged under label %r into %s" % (args.label, args.output))
+    if not args.no_write:
+        regressions = update_wall_history(
+            os.path.join(REPO_ROOT, "wall_history.json"),
+            "smoke" if args.smoke else "full", results,
+            enforce=args.smoke)
+        if regressions:
+            for key, wall_s, best in regressions:
+                print("WALL-CLOCK REGRESSION: %s took %.3fs, more than "
+                      "2x its best recorded %.3fs" % (key, wall_s, best))
+            return 3
     if args.budget_s is not None:
         total_wall_s = sum(metrics["wall_s"] for metrics in results.values())
         print("total measured wall time: %.3fs (budget %.3fs)"

@@ -1,0 +1,212 @@
+"""Harness-based benchmark scenarios — runnable on 1..K lockstep shards.
+
+The LOCATE-at-scale benchmarks live here as *scenario functions* under
+the ``repro.netsim.parallel`` contract (``scenario(harness, **kwargs)
+-> dict``): world construction is plain replicated code, and everything
+after ``harness.attach`` drives the simulation only through the harness
+(``run_for`` / ``run_until_true`` / ``call_on``) and reads results only
+through coordinated reductions (``sum_hosts``) or authority-side
+asserts.  The same function therefore runs bit-identically on the
+single-threaded :class:`~repro.netsim.shard.LocalHarness` and on K
+forked lockstep workers — which is what ``--check-identity`` verifies.
+
+Two rules this module obeys that the old inline benchmark did not need:
+
+* **Build every world before the first attach.**  Construction must be
+  replicated byte-for-byte in every worker; creating circuits in one
+  world while another is attached would consume per-shard ids.
+
+* **Settle before coordinated reads.**  After a predicate stop,
+  non-authority workers may have overrun the stop instant by up to one
+  lookahead window; a ``run_for`` longer than one window realigns every
+  worker's clock before ``sum_hosts`` snapshots per-host statistics.
+  (The single-threaded harness performs the same ``run_for``, so the
+  numbers stay comparable — the drain window is simply part of the
+  scenario.)
+"""
+
+from __future__ import annotations
+
+from repro import PPMClient, PPMConfig, install, spinner_spec
+from repro.netsim import HostClass
+from repro.unixsim import World
+
+#: Post-locate drain: lets duplicate storms, prune feedback, and any
+#: worker overrun settle before per-host statistics are snapshotted.
+DRAIN_MS = 10_000.0
+
+
+def _flood_forwards(harness, world) -> int:
+    """Total broadcast forwards across the fleet (coordinated read)."""
+    return harness.sum_hosts(
+        lambda name: world.lpms[(name, "lfc")].broadcast.forwards
+        if (name, "lfc") in world.lpms else 0)
+
+
+def _open_links(harness, world) -> int:
+    """Open overlay links across the fleet (each counted at both ends)."""
+    return harness.sum_hosts(
+        lambda name: len(world.lpms[(name, "lfc")].transport.authenticated())
+        if (name, "lfc") in world.lpms else 0) // 2
+
+
+def _build_world(policy: str, n_hosts: int, seed: int, hubs: int):
+    """Build one fully converged PPM world (replicated construction).
+
+    ``hubs == 0`` wires the classic single-Ethernet full mesh of links.
+    ``hubs > 0`` builds the two-level topology used at 500 hosts: the
+    first ``hubs`` hosts form a fully meshed backbone and every other
+    host hangs off one hub, round-robin — O(n) links instead of O(n²),
+    which keeps the physical-path BFS tractable at that scale.
+    """
+    config = PPMConfig(topology_policy=policy)
+    world = World(seed=seed, config=config)
+    names = ["h%03d" % i for i in range(n_hosts)]
+    for name in names:
+        world.add_host(name, HostClass.VAX_780)
+    if hubs:
+        hub_names = names[:hubs]
+        world.ethernet(hub_names)
+        wire = world.cost_model.wire_ms
+        for i, leaf in enumerate(names[hubs:]):
+            world.network.add_link(leaf, hub_names[i % hubs],
+                                   latency_ms=wire)
+    else:
+        world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", [names[0]])
+    origin = PPMClient(world, "lfc", names[0]).connect()
+    target = None
+    for name in names[1:]:
+        gpid = origin.create_process("job-%s" % name, host=name,
+                                     program=spinner_spec(None))
+        if name == names[-1]:
+            target = gpid
+
+    def links() -> int:
+        return sum(
+            len(world.lpms[(n, "lfc")].transport.authenticated())
+            for n in names if (n, "lfc") in world.lpms) // 2
+
+    if policy == "full_mesh":
+        want = n_hosts * (n_hosts - 1) // 2
+        world.run_until_true(lambda: links() == want,
+                             timeout_ms=3_600_000.0)
+    else:
+        # Sparse: wait for membership gossip to converge, then let the
+        # debounced rewiring finish opening neighbor links.
+        world.run_until_true(
+            lambda: all(
+                len(world.lpms[(n, "lfc")].topology.membership) == n_hosts
+                for n in names),
+            timeout_ms=3_600_000.0)
+        world.run_for(10_000.0)
+    return world, names, target
+
+
+def _locate_seq(harness, world, names, target, count: int,
+                policy: str) -> None:
+    """Sequential lookups from a non-origin host, each seeing the caches
+    (route, tree, negative) the previous one left behind.
+
+    The locate call is issued as an owned event on the caller host (the
+    driver, so its reply list is live on the authority worker), and each
+    completion is awaited with a coordinated predicate stop.  The settle
+    timeout must outlast the mesh duplicate storm: the caller's
+    dispatcher drains ~n load-scaled duplicate arrivals before it can
+    process the LOCATE_ACK.
+    """
+    results: list = []
+    caller = names[1]
+    for k in range(count):
+        def issue() -> None:
+            world.lpms[(caller, "lfc")].locate(
+                target.host, target.pid, results.append,
+                timeout_ms=600_000.0)
+
+        harness.call_on(caller, issue)
+        found = harness.run_until_true(lambda k=k: len(results) == k + 1,
+                                       timeout_ms=1_200_000.0)
+        assert found, "locate %d timed out on the %s overlay" % (k, policy)
+
+    def verify() -> None:
+        assert all(r is not None for r in results), \
+            "locate failed on the %s overlay" % (policy,)
+
+    harness.on_authority(verify)
+
+
+def locate_scenario(harness, n_hosts: int = 200, mesh_locates: int = 2,
+                    sparse_locates: int = 8,
+                    policies=("full_mesh", "sparse"), hubs: int = 0,
+                    seed: int = 31) -> dict:
+    """Steady-state LOCATE cost at scale — full mesh vs sparse overlay.
+
+    The harness-based port of the ``locate_200_hosts`` benchmark (see
+    the module docstring of ``benchmarks.perf.runner`` for what it
+    measures); ``locate_500_hosts`` runs the same function sparse-only
+    on the two-level hub topology.
+    """
+    worlds = {policy: _build_world(policy, n_hosts, seed, hubs)
+              for policy in policies}
+
+    harness.begin_measure()
+    result = {"n_hosts": n_hosts}
+    per_locate = {}
+    for policy in policies:
+        world, names, target = worlds[policy]
+        harness.attach(world.network, names[1])
+        base = _flood_forwards(harness, world)
+        _locate_seq(harness, world, names, target, 1, policy)
+        # The reply races the flood it rode in on: let duplicate
+        # arrivals and prune feedback drain before the steady window,
+        # so the tree is fully pruned when it's measured.
+        harness.run_for(DRAIN_MS)
+        warm = _flood_forwards(harness, world) - base
+        repeats = mesh_locates if policy == "full_mesh" else sparse_locates
+        _locate_seq(harness, world, names, target, repeats, policy)
+        harness.run_for(DRAIN_MS)
+        steady = _flood_forwards(harness, world) - base - warm
+        per_locate[policy] = steady / repeats
+        result.update({
+            "links_%s" % policy: _open_links(harness, world),
+            "warm_flood_forwards_%s" % policy: warm,
+            "steady_locates_%s" % policy: repeats,
+            "steady_forwards_per_locate_%s" % policy:
+                round(per_locate[policy], 1),
+        })
+
+        if policy == "sparse":
+            # A failed lookup on a routeless host floods once — in tree
+            # mode, ~n−1 forwards — and its repeat is refused from the
+            # negative cache with no traffic at all.
+            caller = names[1]
+            misses: list = []
+            before_miss = _flood_forwards(harness, world)
+            for k in range(2):
+                harness.call_on(
+                    caller,
+                    lambda: world.lpms[(caller, "lfc")].locate(
+                        "h-gone", 99_999, misses.append))
+                found = harness.run_until_true(
+                    lambda k=k: len(misses) == k + 1,
+                    timeout_ms=120_000.0)
+                assert found, "miss lookup %d timed out" % (k,)
+            harness.run_for(DRAIN_MS)
+            harness.on_authority(
+                lambda: None if misses == [None, None] else
+                (_ for _ in ()).throw(AssertionError(
+                    "negative lookups resolved: %r" % (misses,))))
+            result["miss_flood_forwards_sparse"] = \
+                _flood_forwards(harness, world) - before_miss
+            result["sim_ms_sparse"] = round(harness.now, 3)
+        harness.detach()
+
+    if "full_mesh" in per_locate and "sparse" in per_locate:
+        result["link_reduction_x"] = round(
+            result["links_full_mesh"] / max(1, result["links_sparse"]), 1)
+        result["forward_reduction_x"] = round(
+            per_locate["full_mesh"] / max(1.0, per_locate["sparse"]), 1)
+    harness.end_measure()
+    return result

@@ -137,7 +137,8 @@ class ToolService:
 
             cost = lpm._cpu(lpm.cost.fork_ms + lpm.cost.exec_ms
                             + lpm.cost.adopt_ms)
-            lpm.sim.schedule(cost, created, label="local create")
+            lpm.sim.schedule(cost, created, owner=lpm.name,
+                             label="local create")
             return
 
         def remote_ready(link) -> None:
@@ -174,7 +175,7 @@ class ToolService:
                            lpm._apply_control(pid, action))
 
             lpm.sim.schedule(lpm._cpu(lpm.cost.signal_ms), acted,
-                             label="local control")
+                             owner=lpm.name, label="local control")
             return
 
         def send_control(allow_retry: bool = True) -> None:
@@ -254,7 +255,7 @@ class ToolService:
             self.reply(endpoint, message, {"ok": True, "adopted": pids})
 
         lpm.sim.schedule(lpm._cpu(lpm.cost.adopt_ms), adopted,
-                         label="adopt")
+                         owner=lpm.name, label="adopt")
 
     def _tool_tool_set_trace(self, message: Message, endpoint) -> None:
         lpm = self.lpm

@@ -11,9 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class Link:
-    """An undirected link with fixed latency and optional bandwidth cap."""
+    """An undirected link with fixed latency and optional bandwidth cap.
+
+    Slotted: full-mesh topologies carry O(n²) of these and the routing
+    BFS touches them constantly, so the per-instance dict is pure waste
+    (surfaced by the runner's ``--profile`` output).
+    """
 
     a: str
     b: str

@@ -15,6 +15,7 @@ TCP keepalive or failed send would.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
@@ -101,6 +102,35 @@ class Network:
         self._connections: List = []
         #: callbacks run after every topology change (crash, heal, ...).
         self._topology_listeners: List[Callable[[], None]] = []
+        #: Every circuit ever created, keyed by its global id — how a
+        #: shard worker resolves a shipped cross-shard delivery onto its
+        #: local replica of the circuit.  Weak values: a circuit nobody
+        #: holds any more cannot receive anything.
+        self._conns_by_gid: "weakref.WeakValueDictionary" = \
+            weakref.WeakValueDictionary()
+        #: The datagram transport bound to this network (set by
+        #: ``DatagramTransport.__init__``); the shard layer routes
+        #: cross-shard datagram ships through it.
+        self.datagram_transport = None
+        #: Circuit id counters (see ``StreamConnection.__init__``).
+        #: Per-network, so one world's sharded phase cannot desync the
+        #: ids of a world built later in the same process.
+        self._next_conn_id = 0
+        self._next_global_conn_id = 0
+
+    def next_conn_id(self) -> int:
+        """The next circuit id for replicated-construction or
+        shard-local circuits."""
+        self._next_conn_id += 1
+        return self._next_conn_id
+
+    def next_global_conn_id(self) -> int:
+        """The next circuit id for circuits created by *global* events
+        during a sharded phase.  Global events execute identically in
+        every worker, so this counter stays aligned fleet-wide — which
+        is exactly what makes the resulting gids match."""
+        self._next_global_conn_id += 1
+        return self._next_global_conn_id
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -144,6 +174,23 @@ class Network:
             if link.endpoints() == wanted:
                 return link
         return None
+
+    def min_link_latency_ms(self) -> Optional[float]:
+        """The smallest link latency in the topology, or None when no
+        links exist.
+
+        This is the conservative-synchronization *lookahead*: no message
+        sent at time ``t`` can affect any other host before ``t + L``
+        (every path crosses at least one link, and serialization and
+        processing delays only add).  The lockstep shard scheduler uses
+        it as the window length — events inside one window are causally
+        independent across shards.  Partitioned or administratively-down
+        links still bound the lookahead: they may come back up at any
+        event.
+        """
+        if not self.links:
+            return None
+        return min(link.latency_ms for link in self.links)
 
     def ethernet(self, names: Iterable[str], latency_ms: float = 5.0) -> None:
         """Join hosts with a full mesh of links, approximating one shared
@@ -288,6 +335,15 @@ class Network:
         """Track an established circuit for topology re-checks."""
         self._connections.append(conn)
         self.stats.connections_opened += 1
+
+    def index_connection(self, conn) -> None:
+        """Make a circuit resolvable by its global id (shard ships)."""
+        self._conns_by_gid[conn.gid] = conn
+
+    def connection_by_gid(self, gid):
+        """The local replica of the circuit with this global id, or
+        None when it was never created here or already collected."""
+        return self._conns_by_gid.get(gid)
 
     def unregister_connection(self, conn) -> None:
         """Forget a closed or broken circuit; idempotent."""

@@ -1,0 +1,437 @@
+"""The lockstep coordinator — fans a scenario out across shard workers.
+
+:func:`run_scenario` is the single entry point: given a *scenario*
+callable (``scenario(harness, **kwargs) -> dict``) it either runs it
+in-process on a :class:`~repro.netsim.shard.LocalHarness` (``shards=1``)
+or forks ``shards`` worker processes, each running the identical
+scenario on a :class:`~repro.netsim.shard.WorkerHarness`, and plays
+coordinator for their barrier protocol.
+
+The coordinator is deliberately dumb: it never inspects simulation
+state.  Per round it (a) asserts every worker reported the same op,
+round, window grid and target — any disagreement means the scenario
+broke the replicated-construction contract and is raised loudly rather
+than silently diverging; (b) buckets the round's cross-shard ships by
+destination and sorts each bucket into the canonical
+``(arrival, src_host, seq)`` order; (c) decides the next window index,
+fast-forwarding over windows in which no worker has anything scheduled
+(idle phases cost one round, not one round per window); and (d) ends
+the op when the authority worker reports a predicate stop or every
+worker reaches the target.
+
+Workers are forked, not spawned: scenarios may close over arbitrary
+local state (cost models, topology builders) and fork inherits it all
+without pickling.  Each worker talks over its own duplex pipe and
+exits with ``os._exit`` so no interpreter teardown runs twice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from .shard import (
+    SUMMED_COUNTER_GROUPS,
+    VOLATILE_COUNTERS,
+    LocalHarness,
+    WorkerHarness,
+    window_index_at,
+)
+
+#: Seconds the coordinator waits on any single worker message before
+#: declaring the fleet wedged.  Generous: the first message only arrives
+#: after the worker finishes replicated construction.
+DEFAULT_TIMEOUT_S = 3600.0
+
+
+class ShardProtocolError(SimulationError):
+    """A worker broke the lockstep contract (diverging rounds, mixed
+    message kinds, death mid-protocol) — determinism can no longer be
+    guaranteed, so the run is abandoned."""
+
+
+class ShardedOutcome:
+    """What a scenario run produced, merged across the fleet.
+
+    ``result`` is the scenario's return value (asserted identical in
+    every worker).  ``measure`` merges the workers' measured phases:
+    counters summed (each event is counted by exactly one worker),
+    wall clock taken as the maximum (the fleet is done when its slowest
+    member is).  ``worker_measures`` keeps the per-worker dicts for
+    inspection, and ``barrier_rounds`` / ``ships`` summarise protocol
+    traffic.
+    """
+
+    def __init__(self, result, shards: int, measure: Optional[dict],
+                 worker_measures: List[Optional[dict]],
+                 barrier_rounds: int = 0, ships: int = 0) -> None:
+        self.result = result
+        self.shards = shards
+        self.measure = measure
+        self.worker_measures = worker_measures
+        self.barrier_rounds = barrier_rounds
+        self.ships = ships
+
+    def __repr__(self) -> str:
+        return "ShardedOutcome(shards=%d, rounds=%d, ships=%d)" % (
+            self.shards, self.barrier_rounds, self.ships)
+
+
+def run_scenario(scenario: Callable, kwargs: Optional[dict] = None,
+                 shards: int = 1,
+                 timeout_s: float = DEFAULT_TIMEOUT_S) -> ShardedOutcome:
+    """Run a scenario on ``shards`` lockstep workers (1 = in-process).
+
+    The scenario must follow the harness contract (see
+    ``docs/PERF.md``): build the world deterministically, drive it only
+    through the harness's running/reduction methods after ``attach``,
+    and return a picklable result computed from coordinated reads.
+    """
+    kwargs = dict(kwargs or {})
+    if shards < 1:
+        raise SimulationError("shards must be >= 1, got %d" % (shards,))
+    if shards == 1:
+        harness = LocalHarness()
+        result = scenario(harness, **kwargs)
+        return ShardedOutcome(result, 1, harness.measure, [harness.measure])
+
+    ctx = multiprocessing.get_context("fork")
+    pipes = [ctx.Pipe() for _ in range(shards)]
+    child_conns = [child for _, child in pipes]
+    parent_conns = [parent for parent, _ in pipes]
+    procs = []
+    for index in range(shards):
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(scenario, kwargs, shards, index, child_conns,
+                  parent_conns),
+            name="netsim-shard-%d" % index)
+        proc.daemon = True
+        proc.start()
+        procs.append(proc)
+    for child in child_conns:
+        child.close()
+    try:
+        return _coordinate(parent_conns, shards, timeout_s)
+    finally:
+        for conn in parent_conns:
+            conn.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+
+
+def _worker_main(scenario: Callable, kwargs: dict, shards: int,
+                 index: int, child_conns, parent_conns) -> None:
+    """Entry point of one forked shard worker."""
+    conn = child_conns[index]
+    for i, other in enumerate(child_conns):
+        if i != index:
+            other.close()
+    for other in parent_conns:
+        other.close()
+    try:
+        harness = WorkerHarness(shards, index, conn)
+        result = scenario(harness, **kwargs)
+        conn.send(("done", result, harness.measure))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
+        try:
+            conn.send(("error", "%s: %s" % (type(exc).__name__, exc)))
+        except OSError:
+            pass
+        os._exit(1)
+    os._exit(0)
+
+
+def _recv(conn, worker: int, timeout_s: float) -> tuple:
+    if not conn.poll(timeout_s):
+        raise ShardProtocolError(
+            "shard worker %d sent nothing for %.0fs; fleet wedged"
+            % (worker, timeout_s))
+    try:
+        return conn.recv()
+    except EOFError:
+        raise ShardProtocolError(
+            "shard worker %d died mid-protocol" % (worker,)) from None
+
+
+def _assert_agreement(values: list, what: str) -> None:
+    first = values[0]
+    for index, value in enumerate(values[1:], start=1):
+        if value != first:
+            raise ShardProtocolError(
+                "shard workers disagree on %s: worker 0 says %r, "
+                "worker %d says %r — the scenario broke replicated "
+                "construction" % (what, first, index, value))
+
+
+def _merge_measures(measures: List[Optional[dict]]) -> Optional[dict]:
+    live = [m for m in measures if m is not None]
+    if not live:
+        return None
+    if len(live) != len(measures):
+        raise ShardProtocolError(
+            "only some workers ran begin/end_measure")
+    counters: Dict[str, int] = {}
+    for measure in live:
+        for name, value in measure["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+    return {"wall_s": max(m["wall_s"] for m in live),
+            "counters": counters}
+
+
+def _coordinate(conns, shards: int, timeout_s: float) -> ShardedOutcome:
+    debug = bool(os.environ.get("NETSIM_SHARD_DEBUG"))
+    rounds = 0
+    ships_total = 0
+    while True:
+        messages = [_recv(conn, i, timeout_s)
+                    for i, conn in enumerate(conns)]
+        kinds = {message[0] for message in messages}
+        if "error" in kinds:
+            texts = [m[1] for m in messages if m[0] == "error"]
+            raise ShardProtocolError(
+                "shard worker failed: %s" % (texts[0],))
+        if len(kinds) != 1:
+            raise ShardProtocolError(
+                "mixed message kinds in one round: %s" % (sorted(kinds),))
+        kind = messages[0][0]
+
+        if kind == "done":
+            results = [m[1] for m in messages]
+            _assert_agreement(results, "the scenario result")
+            measures = [m[2] for m in messages]
+            return ShardedOutcome(results[0], shards,
+                                  _merge_measures(measures), measures,
+                                  barrier_rounds=rounds,
+                                  ships=ships_total)
+
+        if kind == "sum":
+            _assert_agreement([m[1] for m in messages], "the op id")
+            total = sum(m[2] for m in messages)
+            for conn in conns:
+                conn.send(("sum_result", total))
+            continue
+
+        if kind == "gather":
+            _assert_agreement([m[1] for m in messages], "the op id")
+            merged: dict = {}
+            expected = 0
+            for message in messages:
+                expected += len(message[2])
+                merged.update(message[2])
+            if len(merged) != expected:
+                raise ShardProtocolError(
+                    "gather_hosts keys overlap across shards")
+            for conn in conns:
+                conn.send(("gather_result", merged))
+            continue
+
+        if kind != "barrier":
+            raise ShardProtocolError("unknown message kind %r" % (kind,))
+
+        rounds += 1
+        _assert_agreement([(m[1], m[2]) for m in messages],
+                          "the op/round position")
+        payloads = [m[3] for m in messages]
+        for field in ("epoch", "grid", "widx", "target", "final"):
+            _assert_agreement([p[field] for p in payloads],
+                              "barrier field %r" % (field,))
+        grid_t0, lookahead = payloads[0]["grid"]
+        widx = payloads[0]["widx"]
+        target = payloads[0]["target"]
+
+        buckets: List[list] = [[] for _ in range(shards)]
+        for payload in payloads:
+            for dst_shard, key, ship in payload["ships"]:
+                buckets[dst_shard].append((key, ship))
+                ships_total += 1
+        for bucket in buckets:
+            bucket.sort(key=lambda item: item[0])
+
+        if debug:
+            print("[coord] op=%s round=%s widx=%s target=%.1f final=%s "
+                  "stops=%s next=%s ships=%s"
+                  % (messages[0][1], messages[0][2], widx, target,
+                     payloads[0]["final"],
+                     [p["stop"] for p in payloads],
+                     [p["next_time"] for p in payloads],
+                     [len(p["ships"]) for p in payloads]), flush=True)
+        stops = [p["stop"] for p in payloads if p["stop"] is not None]
+        if stops:
+            # Only the authority evaluates the predicate, so at most one
+            # worker can stop; its stop time becomes the fleet's op end.
+            if len(stops) != 1:
+                raise ShardProtocolError(
+                    "%d workers reported a predicate stop; exactly one "
+                    "worker may hold the authority" % (len(stops),))
+            for index, conn in enumerate(conns):
+                conn.send(("end", stops[0], True, buckets[index]))
+            continue
+        if payloads[0]["final"]:
+            # Timed out (predicate op reached its target): the logical
+            # clock lands exactly on the deadline everywhere.
+            for index, conn in enumerate(conns):
+                conn.send(("end", target, False, buckets[index]))
+            continue
+
+        # Fast-forward: jump to the earliest window in which anything at
+        # all is scheduled — a pending local event on any worker or a
+        # ship about to be applied.  Quiet stretches cost one round.
+        candidates = [p["next_time"] for p in payloads
+                      if p["next_time"] is not None]
+        candidates.extend(key[0] for bucket in buckets
+                          for key, _ in bucket)
+        if candidates:
+            soonest = min(candidates)
+            next_widx = max(widx + 1,
+                            window_index_at(grid_t0, lookahead, soonest))
+        else:
+            # Nothing scheduled anywhere: skip past the op target; the
+            # workers run their (empty) final segments and finish.
+            next_widx = window_index_at(grid_t0, lookahead, target) + 1
+        for index, conn in enumerate(conns):
+            conn.send(("resume", next_widx, buckets[index]))
+
+
+# ----------------------------------------------------------------------
+# Identity checking
+# ----------------------------------------------------------------------
+
+def identity_diff(local: ShardedOutcome, sharded: ShardedOutcome,
+                  ignore_counters=VOLATILE_COUNTERS) -> List[str]:
+    """Differences between a 1-shard and a K-shard run of the same
+    scenario — empty when the sharded run is exact.
+
+    Compares the scenario results key-by-key and the merged measured
+    counters, skipping wall clock and the counters that legitimately
+    depend on the shard count (:data:`VOLATILE_COUNTERS`).  Counter
+    pairs in :data:`SUMMED_COUNTER_GROUPS` are compared by their total
+    — the cache-hit/recompute split moves with execution placement, the
+    sum cannot.
+    """
+    diffs: List[str] = []
+    a, b = local.result, sharded.result
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                diffs.append("result[%r]: missing single-threaded" % (key,))
+            elif key not in b:
+                diffs.append("result[%r]: missing sharded" % (key,))
+            elif a[key] != b[key]:
+                diffs.append("result[%r]: %r != %r" % (key, a[key], b[key]))
+    elif a != b:
+        diffs.append("result: %r != %r" % (a, b))
+    if (local.measure is None) != (sharded.measure is None):
+        diffs.append("measure: present in one run only")
+    elif local.measure is not None:
+        ca = local.measure["counters"]
+        cb = sharded.measure["counters"]
+        grouped = {member: total_name
+                   for total_name, members in SUMMED_COUNTER_GROUPS.items()
+                   for member in members}
+        for name in sorted(set(ca) | set(cb)):
+            if name in ignore_counters or name in grouped:
+                continue
+            va, vb = ca.get(name, 0), cb.get(name, 0)
+            if va != vb:
+                diffs.append("counter %s: %d != %d" % (name, va, vb))
+        for total_name, members in sorted(SUMMED_COUNTER_GROUPS.items()):
+            va = sum(ca.get(m, 0) for m in members)
+            vb = sum(cb.get(m, 0) for m in members)
+            if va != vb:
+                diffs.append("counter %s (%s): %d != %d"
+                             % (total_name, "+".join(members), va, vb))
+    return diffs
+
+
+# ----------------------------------------------------------------------
+# Demo scenario (exercised by ``repro shards`` and the shard tests)
+# ----------------------------------------------------------------------
+
+def demo_scenario(harness, n_hosts: int = 12, chats: int = 40) -> dict:
+    """A small self-contained workload crossing every seam: circuits
+    with bidirectional chatter, datagram pings with drop notices, and a
+    crash mid-run.  Returns enough state to make identity violations
+    visible."""
+    from .latency import HostClass
+    from .network import Network
+    from .simulator import Simulator
+    from .datagram import DatagramTransport
+    from .stream import StreamConnection
+
+    sim = Simulator(seed=7)
+    network = Network(sim)
+    names = ["h%02d" % i for i in range(n_hosts)]
+    for name in names:
+        network.add_node(name, HostClass.VAX_750)
+    network.ethernet(names, latency_ms=5.0)
+    datagrams = DatagramTransport(network)
+
+    inbox: Dict[str, list] = {name: [] for name in names}
+    drops: List[str] = []
+
+    def receiver(host):
+        def on_message(payload, endpoint):
+            inbox[host].append(payload)
+            if payload[0] == "ping" and payload[1] < chats:
+                endpoint.send(("ping", payload[1] + 1), nbytes=128)
+        return on_message
+
+    def acceptor(endpoint, payload):
+        endpoint.on_message = receiver(endpoint.local_name)
+
+    for name in names:
+        network.nodes[name].listen("chat", acceptor)
+        datagrams.bind(name, "udp-echo",
+                       lambda payload, src, _n=name: inbox[_n].append(
+                           ("dgram", payload, src)))
+
+    def opened(endpoint):
+        endpoint.on_message = receiver(endpoint.local_name)
+        endpoint.send(("ping", 0), nbytes=128)
+
+    for i in range(n_hosts):
+        StreamConnection.connect(network, names[i],
+                                 names[(i + 1) % n_hosts], "chat",
+                                 setup_ms=30.0, on_established=opened)
+    sim.run_for(50.0)  # replicated construction: circuits up
+
+    harness.attach(network, names[0])
+    harness.begin_measure()
+    harness.run_for(2_000.0)
+    for i in range(n_hosts):
+        src, dst = names[i], names[(i + 3) % n_hosts]
+        harness.call_on(src, lambda s=src, d=dst: datagrams.send(
+            s, d, "udp-echo", "hello-%s" % s,
+            on_dropped=lambda reason, s=s: drops.append((s, reason))))
+    harness.run_for(1_000.0)
+    # Topology changes are global state: every worker must apply them.
+    victim = names[n_hosts - 1]
+    harness.call_global(lambda: network.crash_host(victim))
+    harness.run_for(5_000.0)
+    # A datagram into the crash: the drop notice crosses shards back to
+    # the sender (the settle path).
+    harness.call_on(names[0], lambda: datagrams.send(
+        names[0], victim, "udp-echo", "into-the-void",
+        on_dropped=lambda reason: drops.append(reason)))
+    harness.run_for(1_000.0)
+    # ``drops`` is populated only on the sender's shard; results must
+    # come from coordinated reads:
+    total_msgs = harness.sum_hosts(lambda host: len(inbox[host]))
+    per_host = harness.gather_hosts(lambda host: len(inbox[host]))
+    dropped = harness.sum_hosts(
+        lambda host: len(drops) if host == names[0] else 0)
+    harness.end_measure()
+    harness.detach()
+    return {
+        "sim_ms": harness.now,
+        "messages": total_msgs,
+        "per_host": per_host,
+        "open_circuits": network.open_connection_count(),
+        "broken": network.stats.connections_broken,
+        "drop_notices": dropped,
+    }

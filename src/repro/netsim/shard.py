@@ -1,0 +1,596 @@
+"""Lockstep shard workers — conservative parallel discrete-event execution.
+
+The netsim event loop is embarrassingly serial but the *workload* is
+not: hosts only influence each other through messages, and every message
+crosses at least one link, so nothing a host does at time ``t`` can be
+observed elsewhere before ``t + L`` where ``L`` is the minimum link
+latency (:meth:`Network.min_link_latency_ms`).  That is the classic
+conservative-synchronization *lookahead*, and it makes the following
+scheme exact, not approximate:
+
+1. **Replicated construction.**  Every worker process builds the entire
+   world with the same seed and runs the same construction events — no
+   IPC, perfectly deterministic, so all workers hold byte-identical
+   replicas when the measured phase begins.
+
+2. **Partitioned execution.**  At :meth:`ShardHarness.attach` the hosts
+   are dealt round-robin (sorted order) across K shards.  Each worker
+   then advances time in lockstep windows of length ``L``: inside a
+   window it executes only events *owned* by its hosts (ownership is
+   inherited along scheduling chains and re-stamped at delivery seams —
+   see ``simulator.py``), popping but skipping events owned elsewhere so
+   queues and clocks stay aligned with the single-threaded order.
+
+3. **Barrier exchange.**  Sends whose receiving host lives on another
+   shard do not schedule locally: the fully computed delivery
+   descriptor (exact arrival float, payload) is *shipped* through the
+   coordinator at the window barrier and applied before the next window
+   runs.  Lookahead guarantees every shipped arrival lies at or beyond
+   the next window boundary, so no worker ever receives a message into
+   its past.  Shipped batches are applied in a deterministic order —
+   sorted by ``(arrival, source host, source sequence)`` — independent
+   of how many shards ran.
+
+The result is the same events at the same simulated instants with the
+same floats as the single-threaded run; only wall-clock time changes.
+``docs/PERF.md`` ("Parallel simulation") documents the protocol and the
+two deliberate relaxations (cross-shard teardown and drop notices land
+at the next window boundary).
+
+:class:`LocalHarness` drives the same scenario API in-process with no
+shard context at all — ``--shards 1`` is literally the single-threaded
+simulator — which is what makes the identity check in the benchmark
+runner meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..perf import PERF
+from . import stream as _stream
+from .network import Network
+
+#: Counters whose values legitimately depend on the shard count and are
+#: excluded from 1-shard vs K-shard identity comparison: the shard
+#: protocol's own counters, plus two event-queue *internals* that track
+#: how work was performed rather than what work happened (the fast-path
+#: split and compaction points depend on per-worker queue composition).
+VOLATILE_COUNTERS = ("shard_windows", "cross_shard_msgs", "barrier_waits",
+                     "events_fastpath", "heap_compactions")
+
+#: Counter pairs whose *split* depends on which OS process executed an
+#: event but whose *sum* is exact: every stamp verification either hits
+#: the per-process signature memo or recomputes, and the memo's warmth
+#: (and its clear-on-overflow point) depends on how many verifications
+#: that particular process has seen.  Identity checking compares the
+#: group total under the given name instead of the members.
+SUMMED_COUNTER_GROUPS = {
+    "hmac_verifies": ("hmac_computed", "hmac_cache_hits"),
+}
+
+
+def window_bounds(t0: float, lookahead_ms: float,
+                  index: int) -> Tuple[float, float]:
+    """The half-open time span ``[start, end)`` of lockstep window
+    ``index`` on the grid anchored at ``t0``."""
+    return (t0 + index * lookahead_ms, t0 + (index + 1) * lookahead_ms)
+
+
+def window_index_at(t0: float, lookahead_ms: float, time_ms: float) -> int:
+    """Which window a time instant falls in (boundary instants belong to
+    the *later* window, matching the half-open execution rule)."""
+    if time_ms < t0:
+        raise SimulationError(
+            "t=%.3f precedes the window grid anchor %.3f" % (time_ms, t0))
+    return int((time_ms - t0) // lookahead_ms)
+
+
+class ShardPlan:
+    """The host partition: hosts dealt round-robin, in sorted order,
+    across ``n_shards`` — deterministic for any process that knows the
+    host set, so every worker computes the identical plan."""
+
+    def __init__(self, hosts, n_shards: int) -> None:
+        if n_shards < 1:
+            raise SimulationError("n_shards must be >= 1")
+        self.hosts: List[str] = sorted(hosts)
+        self.n_shards = n_shards
+        self._shard_of: Dict[str, int] = {
+            name: i % n_shards for i, name in enumerate(self.hosts)}
+
+    def shard_of(self, host: str) -> int:
+        try:
+            return self._shard_of[host]
+        except KeyError:
+            raise SimulationError(
+                "host %r is not part of the shard plan (hosts added after "
+                "attach are not supported)" % (host,)) from None
+
+    def owned(self, index: int) -> List[str]:
+        return [h for h in self.hosts if self._shard_of[h] == index]
+
+    def __repr__(self) -> str:
+        return "ShardPlan(%d hosts over %d shards)" % (
+            len(self.hosts), self.n_shards)
+
+
+class ShardContext:
+    """One worker's view of the partition, installed as ``sim.shard``.
+
+    Decides which events execute here (:meth:`executes`), which count
+    toward the merged counters (:meth:`counts` — shared and global
+    events must be charged exactly once across the fleet), and collects
+    the outbound cross-shard ships for the next barrier.
+    """
+
+    __slots__ = ("plan", "index", "outbound", "_ship_seq",
+                 "_settle_seq", "_settle_callbacks")
+
+    def __init__(self, plan: ShardPlan, index: int) -> None:
+        self.plan = plan
+        self.index = index
+        #: Pending cross-shard ships: (dst_shard, sort_key, payload).
+        self.outbound: List[tuple] = []
+        self._ship_seq = 0
+        self._settle_seq = 0
+        #: token -> (host, on_dropped) for datagrams awaiting a
+        #: cross-shard delivery verdict.
+        self._settle_callbacks: Dict[tuple, tuple] = {}
+
+    # -- ownership ------------------------------------------------------
+
+    def owns(self, host: str) -> bool:
+        return self.plan.shard_of(host) == self.index
+
+    def executes(self, owner) -> bool:
+        """Does this worker run an event with this owner stamp?  Global
+        events (owner None) run everywhere — they mutate replicated
+        world state such as topology.  Shared events (tuples, e.g. a
+        circuit setup) run wherever either end lives; the callback
+        guards its halves with ``sim.executes_host``."""
+        if owner is None:
+            return True
+        if owner.__class__ is tuple:
+            shard_of = self.plan.shard_of
+            for host in owner:
+                if shard_of(host) == self.index:
+                    return True
+            return False
+        return self.plan.shard_of(owner) == self.index
+
+    def counts(self, owner) -> bool:
+        """Should this worker charge the event to the merged counters?
+        Exactly one worker answers True for any event: the owner's shard,
+        the *first* owner's shard for shared events, shard 0 for global
+        events."""
+        if owner is None:
+            return self.index == 0
+        if owner.__class__ is tuple:
+            owner = owner[0]
+        return self.plan.shard_of(owner) == self.index
+
+    # -- outbound ships -------------------------------------------------
+
+    def _ship(self, dst_shard: int, arrival_ms: float, src_host: str,
+              payload: tuple) -> None:
+        self._ship_seq += 1
+        PERF.cross_shard_msgs += 1
+        self.outbound.append(
+            (dst_shard, (arrival_ms, src_host, self._ship_seq), payload))
+
+    def take_outbound(self) -> List[tuple]:
+        ships, self.outbound = self.outbound, []
+        return ships
+
+    def ship_segment(self, gid, side: str, dst_host: str,
+                     arrival_ms: float, payload, sent_ms: float,
+                     src_host: str) -> None:
+        self._ship(self.plan.shard_of(dst_host), arrival_ms, src_host,
+                   ("seg", gid, side, arrival_ms, payload, sent_ms))
+
+    def ship_datagram(self, dst: str, port: str, payload,
+                      deliver_at: float, src: str, token) -> None:
+        settle = None if token is None else (self.index, token)
+        self._ship(self.plan.shard_of(dst), deliver_at, src,
+                   ("dgram", dst, port, payload, deliver_at, src, settle))
+
+    def ship_connect(self, gid, src: str, dst: str, service: str,
+                     payload, complete_at: float, detect_ms: float) -> None:
+        self._ship(self.plan.shard_of(dst), complete_at, src,
+                   ("connect", gid, src, dst, service, payload,
+                    complete_at, detect_ms))
+
+    def ship_teardown(self, gid, reason: str, broke: bool,
+                      a_host: str, b_host: str, now_ms: float) -> None:
+        targets = {self.plan.shard_of(a_host), self.plan.shard_of(b_host)}
+        targets.discard(self.index)
+        for dst_shard in targets:
+            self._ship(dst_shard, now_ms, a_host,
+                       ("teardown", gid, reason, broke))
+
+    def register_settle(self, host: str, on_dropped: Callable) -> tuple:
+        """Remember a datagram's drop callback until the receiving shard
+        reports the delivery verdict; returns the routing token."""
+        self._settle_seq += 1
+        token = (self.index, self._settle_seq)
+        self._settle_callbacks[token] = (host, on_dropped)
+        return token
+
+    def ship_settle(self, settle: tuple, reason: Optional[str],
+                    now_ms: float, dst_host: str) -> None:
+        origin_shard, token = settle
+        self._ship(origin_shard, now_ms, dst_host,
+                   ("settle", token, reason))
+
+    # -- inbound application -------------------------------------------
+
+    def apply_ships(self, network: Network, batch: List[tuple]) -> None:
+        """Apply one barrier's worth of inbound ships.
+
+        ``batch`` arrives sorted by ``(arrival, src_host, seq)`` — a
+        total order every shard count produces identically, so the
+        events it schedules get consistent tie-break sequence numbers.
+        """
+        for key, payload in batch:
+            kind = payload[0]
+            if kind == "seg":
+                _stream.apply_remote_segment(network, payload[1],
+                                             payload[2], payload[3],
+                                             payload[4], payload[5])
+            elif kind == "dgram":
+                network.datagram_transport.apply_remote_datagram(
+                    payload[1], payload[2], payload[3], payload[4],
+                    payload[5], payload[6])
+            elif kind == "connect":
+                _stream.apply_remote_connect(network, payload[1],
+                                             payload[2], payload[3],
+                                             payload[4], payload[5],
+                                             payload[6], payload[7])
+            elif kind == "teardown":
+                _stream.apply_remote_teardown(network, payload[1],
+                                              payload[2], payload[3],
+                                              key[0])
+            elif kind == "settle":
+                self._apply_settle(network, payload[1], payload[2], key[0])
+            else:  # pragma: no cover - protocol invariant
+                raise SimulationError("unknown ship kind %r" % (kind,))
+
+    def _apply_settle(self, network: Network, token, reason,
+                      t_ship: float) -> None:
+        host, on_dropped = self._settle_callbacks.pop(token)
+        if reason is None:
+            return  # delivered; nothing to report
+        sim = network.sim
+
+        def notify() -> None:
+            on_dropped(reason)
+
+        # Next-window relaxation: the sender learns of the drop at the
+        # barrier after it happened, never earlier than it would have.
+        sim.schedule_at(max(t_ship, sim.now_ms), notify, owner=host,
+                        label="dgram-drop-notice %s" % (host,))
+
+
+# ----------------------------------------------------------------------
+# Scenario harnesses
+# ----------------------------------------------------------------------
+
+class LocalHarness:
+    """The scenario API on the plain single-threaded simulator.
+
+    No shard context is installed, so execution is *exactly* the
+    single-threaded event loop — this is what a K-shard run is checked
+    against for identity.  The few places where the API is stricter than
+    the raw simulator (``call_on`` schedules instead of calling
+    directly; a timed-out ``run_until_true`` advances the clock to its
+    deadline) apply identically to both harnesses so the two runs stay
+    comparable event-for-event.
+    """
+
+    shards = 1
+    index = 0
+    is_authority = True
+
+    def __init__(self) -> None:
+        self.network: Optional[Network] = None
+        self.sim = None
+        self.driver_host: Optional[str] = None
+        self.hosts: List[str] = []
+        self.measure: Optional[dict] = None
+        self._wall_start: Optional[float] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, network: Network, driver_host: str) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.driver_host = driver_host
+        self.hosts = sorted(network.nodes)
+
+    def detach(self) -> None:
+        pass
+
+    @property
+    def now(self) -> float:
+        return self.sim.now_ms
+
+    # -- running --------------------------------------------------------
+
+    def run_for(self, duration_ms: float) -> None:
+        self.sim.run_for(duration_ms)
+
+    def run_until_true(self, predicate: Callable[[], bool],
+                       timeout_ms: float = 600_000.0) -> bool:
+        deadline = self.sim.now_ms + timeout_ms
+        found = self.sim.run_until_true(predicate, timeout_ms=timeout_ms)
+        if not found and self.sim.now_ms < deadline:
+            self.sim.clock.advance_to(deadline)
+        return found
+
+    def call_on(self, host: str, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on ``host``'s timeline at the current driver
+        instant (as one event, so event counts match a worker run)."""
+        self.sim.schedule_at(self.sim.now_ms, fn, owner=host,
+                             label="call_on %s" % (host,))
+
+    def call_global(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` as a *global* event at the current driver instant.
+
+        For mutations of replicated world state — topology changes
+        (crash, partition, link state), cost-model tweaks — which every
+        shard worker must apply identically.  Under sharding the event
+        is scheduled in every worker and executes in all of them
+        (counted once, on shard 0)."""
+        self.sim.schedule_at(self.sim.now_ms, fn, owner=None,
+                             label="call_global")
+
+    def sum_hosts(self, fn: Callable[[str], int]) -> int:
+        """Sum an integer per-host statistic over every host.  Integer
+        by contract: float partial sums would regroup differently per
+        shard count; use :meth:`gather_hosts` for anything else."""
+        return sum(fn(host) for host in self.hosts)
+
+    def gather_hosts(self, fn: Callable[[str], object]) -> dict:
+        """Evaluate ``fn`` per host and return ``{host: value}`` —
+        exact (no cross-host arithmetic), so safe for floats."""
+        return {host: fn(host) for host in self.hosts}
+
+    def on_authority(self, fn: Callable[[], object]):
+        """Run ``fn`` only where the driver host's state is live (always
+        here).  For side inspections — asserts on driver-local lists —
+        whose results must not feed back into the simulation."""
+        return fn()
+
+    # -- measurement ----------------------------------------------------
+
+    def begin_measure(self) -> None:
+        PERF.reset()
+        self._wall_start = time.perf_counter()
+
+    def end_measure(self) -> None:
+        wall_s = time.perf_counter() - self._wall_start
+        self.measure = {"wall_s": wall_s, "counters": PERF.snapshot()}
+
+
+class WorkerHarness:
+    """The scenario API inside one lockstep worker process.
+
+    Construction calls (anything before :meth:`attach`) run locally and
+    identically in every worker.  After attach, the running methods
+    coordinate through the parent pipe: lockstep windows with barrier
+    ship exchange (:meth:`run_for`, :meth:`run_until_true`), reduction
+    ops (:meth:`sum_hosts`, :meth:`gather_hosts`), and a logical
+    ``driver_now`` clock that all workers agree on between ops — the
+    physical worker clocks may differ by up to one window (a worker may
+    legitimately overrun a predicate stop by the rest of its window;
+    lookahead makes that safe).
+
+    The scenario's driving predicate is evaluated only by the
+    *authority* worker — the one owning ``driver_host`` — because the
+    driver's observable state (reply lists, caches) is only live there.
+    """
+
+    def __init__(self, shards: int, index: int, conn) -> None:
+        self.shards = shards
+        self.index = index
+        self._conn = conn
+        self.network: Optional[Network] = None
+        self.sim = None
+        self.ctx: Optional[ShardContext] = None
+        self.driver_host: Optional[str] = None
+        self.is_authority = False
+        self.epoch = 0
+        self.grid_t0 = 0.0
+        self.lookahead = 0.0
+        self.window_index = 0
+        self.driver_now = 0.0
+        self.measure: Optional[dict] = None
+        self._wall_start: Optional[float] = None
+        self._op_id = 0
+        self._round = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, network: Network, driver_host: str) -> None:
+        lookahead = network.min_link_latency_ms()
+        if lookahead is None or lookahead <= 0.0:
+            raise SimulationError(
+                "sharded execution needs a positive minimum link latency "
+                "for lookahead; got %r" % (lookahead,))
+        plan = ShardPlan(network.nodes, self.shards)
+        self.network = network
+        self.sim = network.sim
+        self.ctx = ShardContext(plan, self.index)
+        self.sim.shard = self.ctx
+        self.driver_host = driver_host
+        self.is_authority = self.ctx.owns(driver_host)
+        self.epoch += 1
+        self.grid_t0 = self.sim.now_ms
+        self.lookahead = lookahead
+        self.window_index = 0
+        self.driver_now = self.sim.now_ms
+
+    def detach(self) -> None:
+        """Leave the lockstep phase.  Outbound ships still pending
+        belong to simulated time beyond the end of the run — exactly
+        the events a single-threaded run would leave unexecuted in its
+        queue — and are dropped."""
+        self.sim.shard = None
+        self.ctx = None
+
+    @property
+    def now(self) -> float:
+        return self.driver_now
+
+    # -- the lockstep loop ---------------------------------------------
+
+    def _exchange(self, message: tuple) -> tuple:
+        self._conn.send(message)
+        return self._conn.recv()
+
+    def _barrier(self, widx: int, target: float, final: bool,
+                 stop_t: Optional[float]) -> tuple:
+        self._round += 1
+        if self.index == 0 and not final:
+            PERF.shard_windows += 1
+        PERF.barrier_waits += 1
+        return self._exchange(("barrier", self._op_id, self._round, {
+            "epoch": self.epoch,
+            "grid": (self.grid_t0, self.lookahead),
+            "widx": widx,
+            "target": target,
+            "final": final,
+            "stop": stop_t,
+            "next_time": self.sim.queue.peek_time(),
+            "ships": self.ctx.take_outbound(),
+        }))
+
+    def _finish_op(self, reply: tuple) -> bool:
+        _, end_now, found, inbound = reply
+        self.ctx.apply_ships(self.network, inbound)
+        self.driver_now = end_now
+        if self.sim.now_ms < end_now:
+            self.sim.clock.advance_to(end_now)
+        # Re-anchor the window cursor to where the op actually ended.
+        # The coordinator's fast-forward may have jumped the cursor far
+        # past the target (chasing a distant timer); left there, the
+        # next op's first window would span that whole gap and let
+        # workers run ahead of ships still to be exchanged.  End-of-op
+        # state is equivalent to a partially executed current window,
+        # which re-running from here handles exactly like a predicate
+        # overrun.
+        self.window_index = window_index_at(self.grid_t0, self.lookahead,
+                                            end_now)
+        return found
+
+    def _run_lockstep(self, target: float,
+                      predicate: Optional[Callable[[], bool]]) -> bool:
+        sim = self.sim
+        t0, lookahead = self.grid_t0, self.lookahead
+        pred_here = predicate if self.is_authority else None
+        self._op_id += 1
+        self._round = 0
+        stop_t: Optional[float] = None
+        if pred_here is not None and pred_here():
+            stop_t = self.driver_now
+        while True:
+            widx = self.window_index
+            w_end = t0 + (widx + 1) * lookahead
+            if w_end > target:
+                break
+            # Full window [w_start, w_end): events *at* w_end belong to
+            # the next window, after the barrier has applied any ships
+            # arriving exactly on the boundary.
+            if stop_t is None:
+                stop_t = sim.run_window(w_end, pred_here)
+            reply = self._barrier(widx, target, False, stop_t)
+            if reply[0] == "end":
+                return self._finish_op(reply)
+            _, next_widx, inbound = reply
+            self.ctx.apply_ships(self.network, inbound)
+            self.window_index = next_widx
+        # Final partial segment: inclusive of the target instant, like
+        # the single-threaded run_until/run_until_true.
+        if stop_t is None:
+            stop_t = sim.run_window(target, pred_here, inclusive=True)
+        if predicate is None:
+            # run_for is deterministic in time: no agreement round.
+            self.driver_now = target
+            if sim.now_ms < target:
+                sim.clock.advance_to(target)
+            self.window_index = window_index_at(t0, lookahead, target)
+            return False
+        reply = self._barrier(self.window_index, target, True, stop_t)
+        if reply[0] != "end":  # pragma: no cover - protocol invariant
+            raise SimulationError("expected end-of-op, got %r" % (reply[0],))
+        return self._finish_op(reply)
+
+    # -- running --------------------------------------------------------
+
+    def run_for(self, duration_ms: float) -> None:
+        self._run_lockstep(self.driver_now + duration_ms, None)
+
+    def run_until_true(self, predicate: Callable[[], bool],
+                       timeout_ms: float = 600_000.0) -> bool:
+        return self._run_lockstep(self.driver_now + timeout_ms, predicate)
+
+    def call_on(self, host: str, fn: Callable[[], None]) -> None:
+        if not self.ctx.owns(host):
+            return
+        if self.sim.now_ms > self.driver_now:
+            raise SimulationError(
+                "call_on(%r): this worker overran the driver instant "
+                "(%.3f > %.3f); only hosts on the authority shard can be "
+                "driven right after a predicate stop" %
+                (host, self.sim.now_ms, self.driver_now))
+        self.sim.schedule_at(self.driver_now, fn, owner=host,
+                             label="call_on %s" % (host,))
+
+    def call_global(self, fn: Callable[[], None]) -> None:
+        if self.sim.now_ms > self.driver_now:
+            raise SimulationError(
+                "call_global: this worker overran the driver instant "
+                "(%.3f > %.3f); settle with run_for after a predicate "
+                "stop before mutating global state" %
+                (self.sim.now_ms, self.driver_now))
+        self.sim.schedule_at(self.driver_now, fn, owner=None,
+                             label="call_global")
+
+    def sum_hosts(self, fn: Callable[[str], int]) -> int:
+        partial = 0
+        for host in self.ctx.plan.owned(self.index):
+            value = fn(host)
+            if value.__class__ is not int:
+                raise SimulationError(
+                    "sum_hosts is integer-only (float partial sums regroup "
+                    "differently per shard count); got %r for %r"
+                    % (value, host))
+            partial += value
+        self._op_id += 1
+        reply = self._exchange(("sum", self._op_id, partial))
+        return reply[1]
+
+    def gather_hosts(self, fn: Callable[[str], object]) -> dict:
+        partial = {host: fn(host)
+                   for host in self.ctx.plan.owned(self.index)}
+        self._op_id += 1
+        reply = self._exchange(("gather", self._op_id, partial))
+        return reply[1]
+
+    def on_authority(self, fn: Callable[[], object]):
+        if self.is_authority:
+            return fn()
+        return None
+
+    # -- measurement ----------------------------------------------------
+
+    def begin_measure(self) -> None:
+        PERF.reset()
+        self._wall_start = time.perf_counter()
+
+    def end_measure(self) -> None:
+        wall_s = time.perf_counter() - self._wall_start
+        self.measure = {"wall_s": wall_s, "counters": PERF.snapshot()}

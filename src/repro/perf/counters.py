@@ -112,6 +112,20 @@ Cache-first LOCATE (``repro.core.lpm`` / ``repro.core.router``):
     Cached-route LOCATE probes that failed (stale route or moved
     process), forcing the broadcast-flood fallback.
 
+Lockstep sharding (``repro.netsim.shard``):
+
+``shard_windows``
+    Lockstep windows synchronised across the worker fleet (counted once
+    per barrier round, on shard 0).  Windows skipped by the
+    coordinator's fast-forward never appear here.
+``cross_shard_msgs``
+    Delivery descriptors shipped between shard workers (stream
+    segments, datagrams, circuit setups, teardowns, drop-notice
+    settles).
+``barrier_waits``
+    Blocking waits on the coordinator, per worker (barrier rounds plus
+    reduction ops); the synchronisation overhead a sharded run pays.
+
 Load average (``repro.unixsim.loadavg``):
 
 ``loadavg_idle_skips``
@@ -160,6 +174,9 @@ _COUNTERS = (
     "tree_repairs",
     "locate_cache_hits",
     "locate_cache_stale",
+    "shard_windows",
+    "cross_shard_msgs",
+    "barrier_waits",
     "loadavg_idle_skips",
     "spans_started",
     "spans_finished",

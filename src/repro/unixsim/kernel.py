@@ -424,7 +424,7 @@ class Kernel:
                 return
             hook(message)
 
-        self.sim.schedule(delay, deliver,
+        self.sim.schedule(delay, deliver, owner=self.host_name,
                           label="kmsg %s pid=%d" % (message.event.value,
                                                     message.pid))
 

@@ -123,3 +123,26 @@ class TestCostModelCalibration:
     def test_hops_must_be_positive(self):
         with pytest.raises(ConfigError):
             DEFAULT_COST_MODEL.sibling_one_way_ms(0)
+
+    def test_wire_cost_is_positive(self):
+        # wire_ms is the default Ethernet link latency, which in turn is
+        # the lockstep shard scheduler's lookahead — zero would make
+        # conservative windows degenerate.
+        assert DEFAULT_COST_MODEL.wire_ms > 0.0
+
+    def test_each_extra_hop_adds_wire_plus_forward(self):
+        m = DEFAULT_COST_MODEL
+        delta = m.sibling_one_way_ms(3) - m.sibling_one_way_ms(2)
+        assert delta == pytest.approx(m.wire_ms + m.forward_ms)
+
+    def test_send_recv_factors_scale_endpoint_shares_only(self):
+        m = DEFAULT_COST_MODEL
+        base = m.sibling_one_way_ms(1)
+        heavy = m.sibling_one_way_ms(1, send_factor=2.0, recv_factor=3.0)
+        assert heavy - base == pytest.approx(
+            m.sibling_send_ms + 2 * m.sibling_recv_ms)
+
+    def test_datagram_auth_charge_is_positive(self):
+        # Section 3's trade-off only exists if per-message
+        # authentication actually costs something.
+        assert DEFAULT_COST_MODEL.datagram_auth_ms > 0.0

@@ -1,0 +1,308 @@
+"""Tests for the lockstep shard machinery (netsim/shard.py, parallel.py).
+
+Three layers of coverage: pure window/partition math, the cross-shard
+ship ordering contract, and whole-fleet determinism — two independent
+K-shard runs and the 1-shard run of the same scenario must produce
+identical results and merged counters.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import HostClass
+from repro.netsim.datagram import DatagramTransport
+from repro.netsim.network import Network
+from repro.netsim.parallel import demo_scenario, identity_diff, run_scenario
+from repro.netsim.shard import (
+    ShardContext,
+    ShardPlan,
+    WorkerHarness,
+    window_bounds,
+    window_index_at,
+)
+from repro.netsim.simulator import Simulator
+
+
+# ----------------------------------------------------------------------
+# Window math
+# ----------------------------------------------------------------------
+
+class TestWindows:
+    def test_bounds_are_half_open_grid(self):
+        assert window_bounds(0.0, 5.0, 0) == (0.0, 5.0)
+        assert window_bounds(0.0, 5.0, 3) == (15.0, 20.0)
+        assert window_bounds(100.0, 2.5, 2) == (105.0, 107.5)
+
+    def test_boundary_instant_belongs_to_later_window(self):
+        # An event at exactly a window edge runs after the barrier has
+        # applied ships landing on that edge.
+        assert window_index_at(0.0, 5.0, 0.0) == 0
+        assert window_index_at(0.0, 5.0, 4.999) == 0
+        assert window_index_at(0.0, 5.0, 5.0) == 1
+        assert window_index_at(0.0, 5.0, 10.0) == 2
+
+    def test_index_respects_grid_anchor(self):
+        assert window_index_at(50.0, 5.0, 57.0) == 1
+
+    def test_time_before_anchor_rejected(self):
+        with pytest.raises(SimulationError):
+            window_index_at(50.0, 5.0, 49.9)
+
+    def test_lookahead_comes_from_min_link_latency(self):
+        sim = Simulator(seed=1)
+        network = Network(sim)
+        for name in ("a", "b", "c"):
+            network.add_node(name, HostClass.VAX_750)
+        network.add_link("a", "b", latency_ms=12.0)
+        network.add_link("b", "c", latency_ms=5.0)
+        assert network.min_link_latency_ms() == 5.0
+
+    def test_attach_requires_positive_lookahead(self):
+        # A linkless topology has no lookahead; lockstep would need
+        # zero-length windows.  (Raises before any pipe traffic.)
+        sim = Simulator(seed=1)
+        network = Network(sim)
+        network.add_node("a", HostClass.VAX_750)
+        harness = WorkerHarness(2, 0, conn=None)
+        with pytest.raises(SimulationError, match="lookahead"):
+            harness.attach(network, "a")
+
+
+# ----------------------------------------------------------------------
+# The host partition
+# ----------------------------------------------------------------------
+
+class TestShardPlan:
+    def test_round_robin_over_sorted_hosts(self):
+        plan = ShardPlan(["d", "b", "a", "c"], 2)
+        # Sorted order a,b,c,d dealt round-robin.
+        assert plan.shard_of("a") == 0
+        assert plan.shard_of("b") == 1
+        assert plan.shard_of("c") == 0
+        assert plan.shard_of("d") == 1
+
+    def test_partition_is_disjoint_and_complete(self):
+        hosts = ["h%02d" % i for i in range(17)]
+        plan = ShardPlan(hosts, 4)
+        owned = [plan.owned(i) for i in range(4)]
+        flat = [h for part in owned for h in part]
+        assert sorted(flat) == sorted(hosts)
+        assert len(flat) == len(set(flat))
+
+    def test_identical_for_any_insertion_order(self):
+        hosts = ["h%02d" % i for i in range(9)]
+        a = ShardPlan(hosts, 3)
+        b = ShardPlan(list(reversed(hosts)), 3)
+        assert all(a.shard_of(h) == b.shard_of(h) for h in hosts)
+
+    def test_unknown_host_rejected(self):
+        plan = ShardPlan(["a", "b"], 2)
+        with pytest.raises(SimulationError, match="not part of the shard"):
+            plan.shard_of("z")
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(SimulationError):
+            ShardPlan(["a"], 0)
+
+
+class TestOwnership:
+    def _ctx(self, index):
+        return ShardContext(ShardPlan(["a", "b", "c", "d"], 2), index)
+
+    def test_owned_events_execute_on_owner_only(self):
+        assert self._ctx(0).executes("a")
+        assert not self._ctx(1).executes("a")
+
+    def test_global_events_execute_everywhere_count_once(self):
+        for index in (0, 1):
+            assert self._ctx(index).executes(None)
+        assert self._ctx(0).counts(None)
+        assert not self._ctx(1).counts(None)
+
+    def test_shared_events_execute_on_either_end(self):
+        # ("a","b") spans both shards: both execute, only a's owner
+        # charges the counters.
+        for index in (0, 1):
+            assert self._ctx(index).executes(("a", "b"))
+        assert self._ctx(0).counts(("a", "b"))
+        assert not self._ctx(1).counts(("a", "b"))
+
+
+# ----------------------------------------------------------------------
+# Cross-shard ship ordering
+# ----------------------------------------------------------------------
+
+class TestShipOrdering:
+    def test_barrier_batch_sorts_by_arrival_src_seq(self):
+        # The coordinator sorts each destination bucket by
+        # (arrival, src_host, seq); whatever order sends happen in, the
+        # receiver applies one canonical order.
+        ctx = ShardContext(ShardPlan(["a", "b", "c", "d"], 2), 0)
+        ctx.ship_datagram("b", "p", "late", 30.0, "a", None)
+        ctx.ship_datagram("b", "p", "early", 10.0, "c", None)
+        ctx.ship_datagram("b", "p", "tie-c", 20.0, "c", None)
+        ctx.ship_datagram("b", "p", "tie-a", 20.0, "a", None)
+        ships = ctx.take_outbound()
+        assert len(ships) == 4
+        assert ctx.outbound == []  # drained
+
+        bucket = sorted(((key, payload)
+                         for _dst, key, payload in ships),
+                        key=lambda item: item[0])
+        assert [payload[3] for _key, payload in bucket] == \
+            ["early", "tie-a", "tie-c", "late"]
+
+    def test_same_instant_same_src_preserves_send_order(self):
+        ctx = ShardContext(ShardPlan(["a", "b"], 2), 0)
+        for n in range(3):
+            ctx.ship_datagram("b", "p", n, 7.0, "a", None)
+        bucket = sorted(((key, payload)
+                        for _dst, key, payload in ctx.take_outbound()),
+                        key=lambda item: item[0])
+        assert [payload[3] for _key, payload in bucket] == [0, 1, 2]
+
+    def test_ships_route_to_destination_owner(self):
+        plan = ShardPlan(["a", "b", "c", "d"], 2)
+        ctx = ShardContext(plan, 0)
+        ctx.ship_datagram("b", "p", "x", 5.0, "a", None)
+        ctx.ship_datagram("d", "p", "y", 5.0, "c", None)
+        destinations = [dst for dst, _key, _payload in ctx.take_outbound()]
+        assert destinations == [plan.shard_of("b"), plan.shard_of("d")] \
+            == [1, 1]
+
+
+# ----------------------------------------------------------------------
+# Fleet determinism
+# ----------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_two_shard_runs_and_local_run_identical(self):
+        kwargs = dict(n_hosts=8, chats=12)
+        local = run_scenario(demo_scenario, kwargs=kwargs, shards=1)
+        first = run_scenario(demo_scenario, kwargs=kwargs, shards=2)
+        second = run_scenario(demo_scenario, kwargs=kwargs, shards=2)
+
+        # K-shard vs single-threaded: byte-identical modulo the
+        # documented volatile counters.
+        assert identity_diff(local, first) == []
+        # K-shard vs K-shard: *everything* matches, volatile included —
+        # the protocol itself is deterministic.
+        assert first.result == second.result
+        assert first.measure["counters"] == second.measure["counters"]
+        assert first.barrier_rounds == second.barrier_rounds
+        assert first.ships == second.ships
+        assert first.ships > 0  # the demo actually crossed shards
+
+    def test_three_shards_also_identical(self):
+        kwargs = dict(n_hosts=8, chats=12)
+        local = run_scenario(demo_scenario, kwargs=kwargs, shards=1)
+        sharded = run_scenario(demo_scenario, kwargs=kwargs, shards=3)
+        assert identity_diff(local, sharded) == []
+
+
+def _reanchor_scenario(harness):
+    """Regression for the window-cursor bug: an idle ``run_for`` under a
+    distant timer fast-forwards the cursor far past the op target; the
+    next op must re-anchor it or its first window spans the whole gap
+    and cross-shard ships arrive into a worker's past."""
+    sim = Simulator(seed=3)
+    network = Network(sim)
+    names = ["a", "b", "c", "d"]
+    for name in names:
+        network.add_node(name, HostClass.VAX_750)
+    network.ethernet(names, latency_ms=5.0)
+    datagrams = DatagramTransport(network)
+    inbox = {name: [] for name in names}
+
+    def on_b(payload, src):
+        inbox["b"].append(payload)
+        datagrams.send("b", src, "p", "pong")
+
+    for name in names:
+        if name == "b":
+            datagrams.bind(name, "p", on_b)
+        else:
+            datagrams.bind(name, "p",
+                           lambda payload, src, _n=name:
+                           inbox[_n].append(payload))
+    # The distant timer: far beyond every op target below.
+    sim.schedule_at(600_000.0, lambda: None, owner="a", label="distant")
+
+    harness.attach(network, "a")
+    harness.begin_measure()
+    harness.run_for(1_000.0)  # idle op: fast-forward chases the timer
+    harness.call_on("a", lambda: datagrams.send("a", "b", "p", "ping"))
+    found = harness.run_until_true(lambda: len(inbox["a"]) == 1,
+                                   timeout_ms=60_000.0)
+    total = harness.sum_hosts(lambda host: len(inbox[host]))
+    harness.end_measure()
+    result = {"found": found, "messages": total,
+              "sim_ms": round(harness.now, 3)}
+    harness.detach()
+    return result
+
+
+class TestPredicateStops:
+    def test_reanchor_after_fast_forward(self):
+        local = run_scenario(_reanchor_scenario, shards=1)
+        sharded = run_scenario(_reanchor_scenario, shards=2)
+        assert local.result["found"] is True
+        assert local.result["messages"] == 2  # ping + pong
+        assert identity_diff(local, sharded) == []
+
+    def test_timed_out_predicate_lands_on_deadline(self):
+        def scenario(harness):
+            sim = Simulator(seed=5)
+            network = Network(sim)
+            for name in ("a", "b"):
+                network.add_node(name, HostClass.VAX_750)
+            network.add_link("a", "b", latency_ms=5.0)
+            harness.attach(network, "a")
+            harness.begin_measure()
+            found = harness.run_until_true(lambda: False,
+                                           timeout_ms=4_321.0)
+            result = {"found": found, "sim_ms": round(harness.now, 3)}
+            harness.end_measure()
+            harness.detach()
+            return result
+
+        local = run_scenario(scenario, shards=1)
+        sharded = run_scenario(scenario, shards=2)
+        assert local.result == {"found": False, "sim_ms": 4321.0}
+        assert identity_diff(local, sharded) == []
+
+
+# ----------------------------------------------------------------------
+# Identity diffing
+# ----------------------------------------------------------------------
+
+class _FakeOutcome:
+    def __init__(self, result, counters):
+        self.result = result
+        self.measure = {"wall_s": 0.0, "counters": counters}
+
+
+class TestIdentityDiff:
+    def test_summed_group_accepts_offsetting_split(self):
+        # The hit/recompute split moves with execution placement; only
+        # the total is invariant.
+        a = _FakeOutcome({}, {"hmac_computed": 5, "hmac_cache_hits": 1689})
+        b = _FakeOutcome({}, {"hmac_computed": 0, "hmac_cache_hits": 1694})
+        assert identity_diff(a, b) == []
+
+    def test_summed_group_flags_total_divergence(self):
+        a = _FakeOutcome({}, {"hmac_computed": 5, "hmac_cache_hits": 1689})
+        b = _FakeOutcome({}, {"hmac_computed": 0, "hmac_cache_hits": 1693})
+        diffs = identity_diff(a, b)
+        assert len(diffs) == 1 and "hmac_verifies" in diffs[0]
+
+    def test_volatile_counters_ignored_plain_ones_not(self):
+        a = _FakeOutcome({"x": 1}, {"shard_windows": 9, "events_run": 10})
+        b = _FakeOutcome({"x": 1}, {"shard_windows": 2, "events_run": 11})
+        diffs = identity_diff(a, b)
+        assert diffs == ["counter events_run: 10 != 11"]
+
+    def test_result_keys_compared(self):
+        a = _FakeOutcome({"x": 1, "y": 2}, {})
+        b = _FakeOutcome({"x": 1, "y": 3}, {})
+        assert identity_diff(a, b) == ["result['y']: 2 != 3"]
