@@ -1,10 +1,18 @@
 #!/usr/bin/env python3
-"""The PPM's single-host semantics on real processes.
+"""The PPM on real processes — single-host, then a live network.
 
-Everything the simulator models on one host — creation as a managed
-server, control by signal, genealogy, retained exit records — driven
-against the actual Linux kernel via ``subprocess``, signals, and
-``/proc`` (the "processes as files" mechanism of section 6).
+Part 1 drives the single-host semantics the simulator models —
+creation as a managed server, control by signal, genealogy, retained
+exit records — against the actual Linux kernel via ``subprocess``,
+signals, and ``/proc`` (the "processes as files" mechanism of
+section 6).
+
+Part 2 stands up a *distributed* PPM: three serve processes (one per
+overlay host, each an asyncio TCP listener on an ephemeral port), then
+runs the same ``PPMClient`` the simulator uses — bootstrap through a
+real inetd/pmd, process creation across a machine boundary, locate,
+stop/continue by real signal, a cross-host genealogical snapshot, and
+clean teardown.  See ``docs/BACKENDS.md``.
 
 Run:  python examples/real_processes.py        (Linux only)
 """
@@ -29,7 +37,7 @@ def wait_for(predicate, timeout_s=10.0):
     return False
 
 
-def main() -> None:
+def single_host() -> None:
     with RealBackend() as backend:
         print("managing real processes on %s\n" % backend.host_name)
 
@@ -68,6 +76,69 @@ def main() -> None:
 
         print("\nkilling the computation and shutting down.")
         backend.control_tree(root, ControlAction.KILL)
+
+
+def distributed() -> None:
+    from repro.realnet.session import RealSession, launch_hosts
+
+    hosts = ["ucbvax", "ucbarpa", "ucbernie"]
+    print("launching %d real host processes (asyncio TCP, ephemeral "
+          "ports)..." % len(hosts))
+    with launch_hosts(hosts, budget_s=120.0) as fleet:
+        with RealSession(fleet.registry_path, user="lfc",
+                         host_name="ucbvax") as session:
+            client = session.client.connect()
+            info = client.session_info()
+            print("bootstrap complete: LPM for %s on %s "
+                  "(accept service %s)"
+                  % (info["user"], info["host"],
+                     info["endpoints"]["accept"]))
+
+            coordinator = client.create_process("coordinator")
+            print("created %s — a real pid on the local host"
+                  % (coordinator,))
+            solver = client.create_process("solver", host="ucbernie",
+                                           parent=coordinator)
+            print("created %s — across a machine boundary (a sibling "
+                  "channel to ucbernie was built and authenticated on "
+                  "demand)" % (solver,))
+
+            located = client.locate(solver)
+            print("locate %s -> found=%s on %s (state %s)"
+                  % (solver, located["found"], located["host"],
+                     located.get("state", "?")))
+
+            client.stop(solver)
+            print("stopped %s by real SIGSTOP; state now %r"
+                  % (solver, client.locate(solver).get("state")))
+            client.cont(solver)
+            print("continued %s; state now %r"
+                  % (solver, client.locate(solver).get("state")))
+
+            forest = client.snapshot(prune=False)
+            print("\ncross-host genealogical snapshot "
+                  "(%d records, hosts: %s):"
+                  % (len(forest.records),
+                     ", ".join(sorted({g.host for g in
+                                       forest.records}))))
+            print(render_forest(forest))
+
+            for gpid in (solver, coordinator):
+                client.kill(gpid)
+            client.close()
+    print("\nfleet torn down; registry withdrawn; no listeners left.")
+
+
+def main() -> None:
+    print("=" * 62)
+    print("Part 1: one host, real processes (repro.localos)")
+    print("=" * 62)
+    single_host()
+    print()
+    print("=" * 62)
+    print("Part 2: a live PPM over real TCP (repro.realnet)")
+    print("=" * 62)
+    distributed()
 
 
 if __name__ == "__main__":

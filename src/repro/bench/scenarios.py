@@ -17,7 +17,7 @@ from ..core.client import PPMClient
 from ..core.lpm import install
 from ..core.progspec import sleeper_spec, spinner_spec
 from ..ids import GlobalPid
-from ..netsim.latency import HostClass
+from ..latency import HostClass
 from ..unixsim.world import World
 
 

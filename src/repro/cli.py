@@ -11,6 +11,10 @@ Five subcommands:
   per-operation-class latency percentiles.
 * ``trace`` — the same session, exported as Chrome trace-event JSON
   (load the file at https://ui.perfetto.dev).
+* ``serve`` — become one *real* PPM host: an asyncio TCP listener in
+  this OS process (the realnet backend; see ``docs/BACKENDS.md``).
+* ``run-real`` — launch N serve processes and drive the demo session
+  over real sockets with the same client code the simulator uses.
 * ``version`` — print the package version.
 """
 
@@ -23,7 +27,7 @@ from typing import List, Optional
 from . import __version__
 from .core.ppm import PersonalProcessManager
 from .core.shell import PPMShell
-from .netsim.latency import HostClass
+from .latency import HostClass
 from .unixsim.world import World
 
 
@@ -194,6 +198,59 @@ def cmd_shards(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run one real PPM host in this OS process (realnet backend)."""
+    from .realnet.serve import serve_host
+    return serve_host(args.host, args.registry,
+                      bind_address=args.bind, budget_s=args.budget_s,
+                      trace_spans=args.trace_spans)
+
+
+def cmd_run_real(args) -> int:
+    """Stand up N real serve processes and run the demo session over
+    real TCP — the same client calls the simulator demo makes."""
+    from .perf import PERF
+    from .realnet.session import RealSession, launch_hosts
+
+    hosts = ["host%d" % i for i in range(args.hosts)]
+    PERF.reset()
+    print("launching %d serve processes (budget %.0fs each) ..."
+          % (len(hosts), args.budget_s))
+    with launch_hosts(hosts, budget_s=args.budget_s) as fleet:
+        with RealSession(fleet.registry_path, user="lfc",
+                         host_name=hosts[0]) as session:
+            if args.trace_spans:
+                session.fabric.enable_span_tracing()
+            client = session.client.connect()
+            info = client.session_info()
+            print("connected: lpm on %s for %s"
+                  % (info["host"], info["user"]))
+            local = client.create_process("coordinator")
+            print("created %s (real pid %d on %s)"
+                  % (local, local.pid, local.host))
+            remote = client.create_process("solver", host=hosts[-1],
+                                           parent=local)
+            print("created %s across the machine boundary" % (remote,))
+            print("locate %s -> %s" % (remote, client.locate(remote)))
+            print("stop/continue %s -> state %s"
+                  % (remote, client.cont(remote)["state"]))
+            forest = client.snapshot(prune=False)
+            print("snapshot: %d records from %d hosts%s"
+                  % (len(forest.records),
+                     len({g.host for g in forest.records}),
+                     (", missing %s" % sorted(forest.missing_hosts))
+                     if forest.missing_hosts else ""))
+            for gpid in (remote, local):
+                client.kill(gpid)
+            client.close()
+    print("teardown complete")
+    print("perf: %d connects, %d frames sent, %d frames received, "
+          "%d partial reads"
+          % (PERF.real_connects, PERF.real_frames_sent,
+             PERF.real_frames_received, PERF.real_partial_reads))
+    return 0
+
+
 def cmd_version(args) -> int:
     print("repro %s — Berkeley PPM reproduction (ICDCS 1986)"
           % (__version__,))
@@ -234,6 +291,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     shards.add_argument("--shards", type=int, default=2,
                         help="number of worker processes (default: 2)")
     shards.set_defaults(fn=cmd_shards)
+
+    serve = sub.add_parser(
+        "serve", help="run one real PPM host process (asyncio TCP "
+                      "backend)")
+    serve.add_argument("--host", required=True,
+                       help="overlay host name to serve")
+    serve.add_argument("--registry", required=True,
+                       help="shared host-registry file")
+    serve.add_argument("--bind", default="127.0.0.1",
+                       help="address to bind (default 127.0.0.1)")
+    serve.add_argument("--budget-s", type=float, default=None,
+                       help="exit after this many wall seconds")
+    serve.add_argument("--trace-spans", action="store_true",
+                       help="enable span tracing in this process")
+    serve.set_defaults(fn=cmd_serve)
+
+    run_real = sub.add_parser(
+        "run-real", help="launch N real host processes and run the "
+                         "demo session over real TCP")
+    run_real.add_argument("--hosts", type=int, default=3,
+                          help="number of serve processes (default: 3)")
+    run_real.add_argument("--budget-s", type=float, default=60.0,
+                          help="wall-clock budget per serve process")
+    run_real.add_argument("--trace-spans", action="store_true",
+                          help="trace client-side spans")
+    run_real.set_defaults(fn=cmd_run_real)
 
     version = sub.add_parser("version", help="print the version")
     version.set_defaults(fn=cmd_version)

@@ -22,7 +22,6 @@ from typing import List, Optional, Union
 
 from ..errors import NoLPMError, PPMError, RequestTimeoutError
 from ..ids import GlobalPid
-from ..netsim.stream import StreamConnection
 from ..unixsim.inetd import INETD_SERVICE, PPM_SERVICE
 from ..util import Deferred
 from .control import ControlAction
@@ -36,7 +35,7 @@ class PPMClient:
 
     def __init__(self, world, user: str, host_name: str) -> None:
         self.world = world
-        self.sim = world.sim
+        self.fabric = world.fabric
         self.user = user
         self.host_name = host_name
         self.endpoint = None
@@ -69,17 +68,16 @@ class PPMClient:
         def bootstrap_established(bootstrap_endpoint) -> None:
             bootstrap_endpoint.on_message = bootstrap_replied
 
-        StreamConnection.connect(
-            self.world.network, self.host_name, self.host_name,
-            INETD_SERVICE,
+        self.fabric.connect(
+            self.host_name, self.host_name, INETD_SERVICE,
             payload={"service": PPM_SERVICE, "user": self.user,
                      "origin_host": self.host_name,
                      "origin_user": self.user},
             on_established=bootstrap_established,
             on_failed=lambda reason: done.resolve(NoLPMError(reason)))
 
-        if not self.world.run_until_true(lambda: done.resolved,
-                                         timeout_ms=timeout_ms):
+        if not self.fabric.run_until_true(lambda: done.resolved,
+                                          timeout_ms=timeout_ms):
             raise RequestTimeoutError("LPM bootstrap on %s"
                                       % (self.host_name,))
         if isinstance(done.value, Exception):
@@ -93,9 +91,8 @@ class PPMClient:
             endpoint.on_close = self._on_close
             done.resolve(endpoint)
 
-        StreamConnection.connect(
-            self.world.network, self.host_name, self.host_name,
-            accept_service,
+        self.fabric.connect(
+            self.host_name, self.host_name, accept_service,
             payload={"role": "tool", "user": self.user,
                      "host": self.host_name},
             on_established=established,
@@ -134,7 +131,7 @@ class PPMClient:
         request = Message(kind=kind, req_id=self._req_counter,
                           origin=self.host_name, user=self.user,
                           payload=payload or {})
-        tracer = self.sim.tracer
+        tracer = self.fabric.tracer
         span = None
         if tracer is not None:
             span = tracer.start("tool:%s" % kind.value,
@@ -142,12 +139,11 @@ class PPMClient:
             request.trace = span.ctx()
         deferred = Deferred()
         self._pending[request.req_id] = deferred
-        host = self.world.hosts[self.host_name]
         self.endpoint.send(
             request, nbytes=message_size_bytes(request),
-            extra_delay_ms=host.cpu_cost(self.world.cost_model.tool_ipc_ms))
-        if not self.world.run_until_true(lambda: deferred.resolved,
-                                         timeout_ms=timeout_ms):
+            extra_delay_ms=self.fabric.tool_send_delay_ms(self.host_name))
+        if not self.fabric.run_until_true(lambda: deferred.resolved,
+                                          timeout_ms=timeout_ms):
             self._pending.pop(request.req_id, None)
             if span is not None:
                 tracer.finish(span, op="tool_call", outcome="timeout")
@@ -224,13 +220,21 @@ class PPMClient:
     def kill(self, gpid: GlobalPid) -> dict:
         return self.control(gpid, ControlAction.KILL)
 
+    def locate(self, gpid: GlobalPid) -> dict:
+        """Find a process anywhere on the overlay; returns the reply
+        payload (``found`` plus the owning host's answer)."""
+        return self._expect_ok(
+            self.call(MsgKind.TOOL_LOCATE,
+                      {"host": gpid.host, "pid": gpid.pid}),
+            "locate(%s)" % (gpid,))
+
     def snapshot(self, prune: bool = True) -> SnapshotForest:
         """The snapshot tool: the genealogical state of the user's
         distributed computation."""
         result = self._expect_ok(self.call(MsgKind.TOOL_SNAPSHOT),
                                  "snapshot")
         forest = SnapshotForest(
-            taken_at_ms=self.sim.now_ms,
+            taken_at_ms=self.fabric.now_ms,
             records=[ProcessRecord.from_dict(r)
                      for r in result.get("records", [])],
             missing_hosts=set(result.get("missing", [])))

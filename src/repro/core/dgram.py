@@ -123,7 +123,7 @@ class DatagramEndpoint:
         lpm = self.fabric.lpm
         config = lpm.config
         seq = datagram["seq"]
-        lpm.world.datagrams.send(
+        lpm.fabric.datagram_send(
             self.local_name, self.peer_name, _port_name(lpm.user),
             datagram, nbytes=nbytes, extra_delay_ms=extra_delay_ms)
         timer = lpm.sim.schedule(
@@ -235,7 +235,7 @@ class DatagramFabric:
         return "%.6f:%d" % (self.lpm.sim.now_ms, self._next_intro_id)
 
     def bind(self) -> None:
-        self.lpm.world.datagrams.bind(self.lpm.name,
+        self.lpm.fabric.datagram_bind(self.lpm.name,
                                       _port_name(self.lpm.user),
                                       self._on_datagram)
         self.bound = True
@@ -243,7 +243,7 @@ class DatagramFabric:
 
     def unbind(self) -> None:
         if self.bound:
-            self.lpm.world.datagrams.unbind(self.lpm.name,
+            self.lpm.fabric.datagram_unbind(self.lpm.name,
                                             _port_name(self.lpm.user))
             self.bound = False
         if self._keepalive_timer is not None:
@@ -341,7 +341,7 @@ class DatagramFabric:
     # ------------------------------------------------------------------
 
     def send_ack(self, peer: str, seq: int) -> None:
-        self.lpm.world.datagrams.send(
+        self.lpm.fabric.datagram_send(
             self.lpm.name, peer, _port_name(self.lpm.user),
             {"kind": "ack", "seq": seq, "from_host": self.lpm.name},
             nbytes=48)
@@ -395,7 +395,7 @@ class DatagramFabric:
         # Ack the intro itself and let the transport register the
         # sibling link.
         lpm.transport.on_datagram_intro(datagram, endpoint)
-        lpm.world.datagrams.send(
+        lpm.fabric.datagram_send(
             lpm.name, sender, _port_name(lpm.user),
             {"kind": "intro_ack", "seq": 0,
              "acked_seq": datagram["seq"], "from_host": lpm.name,

@@ -41,7 +41,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import ConnectionClosedError, ReproError
 from ..ids import GlobalPid
-from ..netsim.latency import load_factor
+from ..latency import load_factor
 from ..perf import PERF
 from ..tracing.events import TraceEventType
 from ..unixsim.process import ProcState, trace_flags_from_names
@@ -70,6 +70,9 @@ class LocalProcessManager:
         self.host = host
         self.world = host.world
         self.sim = host.sim
+        #: The backend seam: all connection establishment and datagram
+        #: traffic goes through here (see :mod:`repro.core.fabric`).
+        self.fabric = host.world.fabric
         self.user = user
         self.uid = host.uid_of(user)
         self.token = token

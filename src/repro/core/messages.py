@@ -29,6 +29,7 @@ class MsgKind(Enum):
     TOOL_SET_TRACE = "tool_set_trace"
     TOOL_SESSION_INFO = "tool_session_info"
     TOOL_PING = "tool_ping"
+    TOOL_LOCATE = "tool_locate"
     #: Generic reply to a tool.
     TOOL_REPLY = "tool_reply"
 
@@ -60,7 +61,8 @@ class MsgKind(Enum):
 TOOL_KINDS = frozenset({
     MsgKind.TOOL_SNAPSHOT, MsgKind.TOOL_CONTROL, MsgKind.TOOL_CREATE,
     MsgKind.TOOL_ADOPT, MsgKind.TOOL_RSTATS, MsgKind.TOOL_SET_TRACE,
-    MsgKind.TOOL_SESSION_INFO, MsgKind.TOOL_PING, MsgKind.TOOL_REPLY,
+    MsgKind.TOOL_SESSION_INFO, MsgKind.TOOL_PING, MsgKind.TOOL_LOCATE,
+    MsgKind.TOOL_REPLY,
 })
 
 

@@ -25,7 +25,6 @@ from __future__ import annotations
 from enum import Enum
 from typing import List, Optional
 
-from ..netsim.stream import StreamConnection
 from ..tracing.events import TraceEventType
 from ..unixsim.nameserver import NAME_SERVICE
 from .messages import Message, MsgKind
@@ -160,9 +159,9 @@ class RecoveryManager:
 
         payload = {"op": op, "user": self.lpm.user}
         payload.update(extra)
-        StreamConnection.connect(
-            self.lpm.world.network, self.lpm.name,
-            config.name_server_host, NAME_SERVICE, payload=payload,
+        self.lpm.fabric.connect(
+            self.lpm.name, config.name_server_host, NAME_SERVICE,
+            payload=payload,
             on_established=established,
             on_failed=lambda reason: on_reply(None),
             detect_ms=config.connection_detect_ms)

@@ -101,6 +101,37 @@ class ToolService:
             "local_pids": sorted(lpm.records),
         })
 
+    def _tool_tool_locate(self, message: Message, endpoint) -> None:
+        """Resolve ``<host, pid>`` over the overlay (the LOCATE verb
+        exposed to tools; probes and floods per the session policy)."""
+        lpm = self.lpm
+        host = message.payload.get("host", lpm.name)
+        pid = message.payload.get("pid")
+
+        def on_result(reply) -> None:
+            if reply is not None and reply.payload.get("ok"):
+                answer = {"ok": True, "found": True,
+                          "host": reply.payload.get("host", host),
+                          "pid": pid}
+                if "state" in reply.payload:
+                    answer["state"] = reply.payload["state"]
+            else:
+                answer = {"ok": True, "found": False,
+                          "host": host, "pid": pid}
+            self.reply(endpoint, message, answer)
+
+        if host == lpm.name:
+            # The named host is us: answer authoritatively, no traffic.
+            found = pid in lpm.records
+            answer = {"ok": True, "found": found, "host": host,
+                      "pid": pid}
+            if found:
+                answer["state"] = lpm.records[pid].state
+            self.reply(endpoint, message, answer)
+            return
+        lpm.locate(host, pid, on_result,
+                   trace_parent=self._trace_ctx(message))
+
     def _tool_tool_snapshot(self, message: Message, endpoint) -> None:
         self.lpm.gather.start(
             "snapshot",

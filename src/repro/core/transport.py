@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..netsim.stream import StreamConnection
 from ..tracing.events import TraceEventType
 from ..unixsim.inetd import INETD_SERVICE, PPM_SERVICE
 from ..util import Deferred
@@ -180,8 +179,8 @@ class SiblingTransport:
 
         # Figure 2 steps (1)-(4): ask the remote inetd for the user's
         # LPM accept address, creating pmd and LPM as needed.
-        StreamConnection.connect(
-            lpm.world.network, lpm.name, peer, INETD_SERVICE,
+        lpm.fabric.connect(
+            lpm.name, peer, INETD_SERVICE,
             payload={"service": PPM_SERVICE, "user": lpm.user,
                      "origin_host": lpm.name, "origin_user": lpm.user},
             on_established=bootstrap_established,
@@ -205,9 +204,8 @@ class SiblingTransport:
             endpoint.on_close = self.on_link_close
             endpoint.context = {"await_ack": done}
 
-        StreamConnection.connect(
-            lpm.world.network, lpm.name, peer,
-            bootstrap["accept_service"], payload=hello,
+        lpm.fabric.connect(
+            lpm.name, peer, bootstrap["accept_service"], payload=hello,
             setup_ms=lpm.cost.connect_ms,
             on_established=established,
             on_failed=lambda reason: done.resolve(None),

@@ -97,6 +97,16 @@ class Network:
         self.sim = sim
         self.nodes: Dict[str, NetworkNode] = {}
         self.links: List[Link] = []
+        #: Adjacency index: host name -> the links touching it.  BFS
+        #: and ``link_between`` walk this instead of scanning every
+        #: link in the network (``find_path`` dominated single-thread
+        #: profiles at a few hundred hosts).
+        self._adjacency: Dict[str, List[Link]] = {}
+        #: ``(src, dst) -> path-or-None`` memo for :meth:`find_path`,
+        #: flushed on every topology change.  Entries are exactly what
+        #: BFS computed for the same topology, so caching cannot change
+        #: simulation outcomes.
+        self._path_cache: Dict[tuple, Optional[List[str]]] = {}
         self.stats = NetworkStats()
         #: open stream connections, maintained by stream.py.
         self._connections: List = []
@@ -165,12 +175,15 @@ class Network:
         link = Link(a, b, latency_ms=latency_ms,
                     bandwidth_bytes_per_ms=bandwidth_bytes_per_ms)
         self.links.append(link)
+        self._adjacency.setdefault(a, []).append(link)
+        self._adjacency.setdefault(b, []).append(link)
+        self._path_cache.clear()
         return link
 
     def link_between(self, a: str, b: str) -> Optional[Link]:
         """The direct link joining ``a`` and ``b``, or None."""
         wanted = frozenset((a, b))
-        for link in self.links:
+        for link in self._adjacency.get(a, ()):
             if link.endpoints() == wanted:
                 return link
         return None
@@ -207,21 +220,35 @@ class Network:
 
     def _usable_neighbors(self, name: str) -> List[str]:
         result = []
-        for link in self.links:
-            if link.connects(name) and link.usable:
+        for link in self._adjacency.get(name, ()):
+            if link.usable:
                 other = link.other(name)
                 if self.nodes[other].up:
                     result.append(other)
         return result
 
     def find_path(self, src: str, dst: str) -> Optional[List[str]]:
-        """Shortest usable path as a list of host names, or None."""
+        """Shortest usable path as a list of host names, or None.
+
+        Memoised per ``(src, dst)`` until the next topology change;
+        the cached value is exactly the BFS result for the current
+        topology, and callers get a fresh copy each time.
+        """
         if src not in self.nodes or dst not in self.nodes:
             raise NoSuchHostError(src if src not in self.nodes else dst)
         if not self.nodes[src].up or not self.nodes[dst].up:
             return None
         if src == dst:
             return [src]
+        key = (src, dst)
+        if key in self._path_cache:
+            cached = self._path_cache[key]
+            return None if cached is None else list(cached)
+        path = self._bfs_path(src, dst)
+        self._path_cache[key] = path
+        return None if path is None else list(path)
+
+    def _bfs_path(self, src: str, dst: str) -> Optional[List[str]]:
         seen: Set[str] = {src}
         frontier = deque([[src]])
         while frontier:
@@ -322,6 +349,7 @@ class Network:
         self._topology_listeners.append(callback)
 
     def _topology_changed(self) -> None:
+        self._path_cache.clear()
         for conn in list(self._connections):
             conn.recheck()
         for callback in list(self._topology_listeners):

@@ -132,6 +132,20 @@ Load average (``repro.unixsim.loadavg``):
     Lazy integrations skipped because the average already equals the
     runnable count (idle or fully-converged hosts), avoiding an exp().
 
+Real network backend (``repro.realnet``):
+
+``real_frames_sent``
+    Length-prefixed frames written to real TCP sockets (messages plus
+    control frames).
+``real_frames_received``
+    Complete frames decoded off real TCP sockets.
+``real_partial_reads``
+    Socket reads that ended mid-frame, leaving bytes buffered in the
+    frame decoder until the rest arrived (torn reads).
+``real_connects``
+    Outbound TCP connections opened by the realnet fabric (bootstrap,
+    tool, and sibling channels).
+
 Span tracing (``repro.perf.spans``):
 
 ``spans_started``
@@ -178,6 +192,10 @@ _COUNTERS = (
     "cross_shard_msgs",
     "barrier_waits",
     "loadavg_idle_skips",
+    "real_frames_sent",
+    "real_frames_received",
+    "real_partial_reads",
+    "real_connects",
     "spans_started",
     "spans_finished",
     "histogram_records",

@@ -1,0 +1,112 @@
+"""Length-prefixed framing of the PPM wire format over byte streams.
+
+TCP is a byte stream; the protocol is message-oriented.  Every frame
+on a realnet socket is::
+
+    4 bytes big-endian body length | 1 tag byte | body
+
+with two tags:
+
+* ``b"M"`` — the body is :func:`repro.core.wire.encode` of a protocol
+  :class:`~repro.core.messages.Message` (the *same* canonical JSON the
+  simulator charges for — the wire format is backend-independent).
+* ``b"J"`` — the body is a plain JSON object (connection-setup frames:
+  service dial, accept/refuse, bootstrap payloads).
+
+:class:`FrameDecoder` is incremental: feed it whatever ``read()``
+returned — half a length prefix, three frames and a torn fourth — and
+it yields exactly the completed frames, buffering the rest.  Torn
+reads are counted (``real_partial_reads``) because they are the edge
+the simulator never exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import List, Tuple, Union
+
+from ..core.messages import Message
+from ..core.wire import decode as wire_decode
+from ..core.wire import encode as wire_encode
+from ..errors import ReproError
+from ..perf import PERF
+
+#: struct format of the length prefix.
+_LEN = struct.Struct(">I")
+
+#: Refuse anything claiming a body larger than this (corrupt peer or
+#: desynchronised stream — fail loudly rather than buffer gigabytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+TAG_MESSAGE = b"M"
+TAG_JSON = b"J"
+
+
+class FramingError(ReproError):
+    """A malformed frame arrived (bad tag, oversized length, bad body)."""
+
+
+def encode_frame(payload: Union[Message, dict]) -> bytes:
+    """One wire frame for a protocol message or a control dict."""
+    if isinstance(payload, Message):
+        tag, body = TAG_MESSAGE, wire_encode(payload)
+    else:
+        tag = TAG_JSON
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    PERF.real_frames_sent += 1
+    return _LEN.pack(len(body)) + tag + body
+
+
+def decode_body(tag: bytes, body: bytes) -> Union[Message, dict]:
+    if tag == TAG_MESSAGE:
+        return wire_decode(body)
+    if tag == TAG_JSON:
+        return json.loads(body.decode("utf-8"))
+    raise FramingError("unknown frame tag %r" % (tag,))
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over arbitrary read boundaries."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Union[Message, dict]]:
+        """Absorb one read's worth of bytes; return completed frames.
+
+        Returns decoded payloads in arrival order.  Bytes beyond the
+        last complete frame stay buffered for the next feed.
+        """
+        self._buffer.extend(data)
+        frames: List[Union[Message, dict]] = []
+        while True:
+            header, body = self._next_frame()
+            if header is None:
+                break
+            frames.append(decode_body(header, body))
+            PERF.real_frames_received += 1
+        if self._buffer and data:
+            PERF.real_partial_reads += 1
+        return frames
+
+    def _next_frame(self) -> Tuple[bytes, bytes]:
+        if len(self._buffer) < _LEN.size + 1:
+            return None, b""
+        (length,) = _LEN.unpack(bytes(self._buffer[:_LEN.size]))
+        if length > MAX_FRAME_BYTES:
+            raise FramingError("frame of %d bytes exceeds the %d-byte "
+                               "cap" % (length, MAX_FRAME_BYTES))
+        total = _LEN.size + 1 + length
+        if len(self._buffer) < total:
+            return None, b""
+        tag = bytes(self._buffer[_LEN.size:_LEN.size + 1])
+        body = bytes(self._buffer[_LEN.size + 1:total])
+        del self._buffer[:total]
+        return tag, body

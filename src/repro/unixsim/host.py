@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..netsim.latency import HostClass, load_factor
+from ..latency import HostClass, load_factor
 from ..tracing.events import TraceEventType
 from .filesystem import SimFilesystem
 from .inetd import InetDaemon

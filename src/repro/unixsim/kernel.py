@@ -32,7 +32,7 @@ from ..errors import (
     ProcessPermissionError,
     SimulationError,
 )
-from ..netsim.latency import kernel_message_delay_ms
+from ..latency import kernel_message_delay_ms
 from .loadavg import LoadAverage
 from .process import (
     CLOSED_FILE_HISTORY_LIMIT,

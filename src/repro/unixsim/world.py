@@ -13,8 +13,9 @@ from typing import Callable, Dict, List, Optional
 
 from ..config import DEFAULT_CONFIG, PPMConfig
 from ..errors import NoSuchHostError
+from ..latency import DEFAULT_COST_MODEL, CostModel, HostClass
 from ..netsim.datagram import DatagramTransport
-from ..netsim.latency import DEFAULT_COST_MODEL, CostModel, HostClass
+from ..netsim.fabric import SimFabric
 from ..netsim.network import Network
 from ..netsim.simulator import Simulator
 from ..tracing.events import Granularity
@@ -37,6 +38,12 @@ class World:
         self.config = config
         self.cost_model = cost_model
         self.hosts: Dict[str, Host] = {}
+        #: The backend seam (see :mod:`repro.core.fabric`): the protocol
+        #: stack reaches the simulator only through this adapter.
+        self.fabric = SimFabric(
+            self.sim, self.network, self.datagrams,
+            tool_delay_fn=lambda host_name: self.hosts[host_name]
+            .cpu_cost(self.cost_model.tool_ipc_ms))
         self.recorder = TraceRecorder(lambda: self.sim.now_ms,
                                       granularity=granularity)
         #: User-level IPC fabric (4.3BSD sockets between processes).

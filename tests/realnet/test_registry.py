@@ -1,0 +1,85 @@
+"""Host-registry tests: atomic publication of ephemeral addresses."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.realnet.registry import HostRegistry
+
+
+def test_publish_lookup_withdraw(tmp_path):
+    registry = HostRegistry(str(tmp_path / "reg.json"))
+    registry.publish("alpha", "127.0.0.1", 4242)
+    assert registry.lookup("alpha") == ("127.0.0.1", 4242)
+    assert registry.lookup("beta") is None
+    registry.withdraw("alpha")
+    assert registry.lookup("alpha") is None
+
+
+def test_publish_merges_across_writers(tmp_path):
+    """Two registries on the same file (two serve processes) must not
+    clobber each other's entries."""
+    path = str(tmp_path / "reg.json")
+    HostRegistry(path).publish("alpha", "127.0.0.1", 1000)
+    HostRegistry(path).publish("beta", "127.0.0.1", 2000)
+    merged = HostRegistry(path).read()
+    assert merged == {"alpha": ("127.0.0.1", 1000),
+                      "beta": ("127.0.0.1", 2000)}
+
+
+def test_missing_and_corrupt_files_read_empty(tmp_path):
+    registry = HostRegistry(str(tmp_path / "absent.json"))
+    assert registry.read() == {}
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{half a json doc")
+    assert HostRegistry(str(corrupt)).read() == {}
+
+
+def test_write_is_atomic_replace(tmp_path):
+    """Publishing leaves no temp droppings and the file is always a
+    complete JSON document."""
+    path = tmp_path / "reg.json"
+    registry = HostRegistry(str(path))
+    for port in range(20):
+        registry.publish("alpha", "127.0.0.1", 5000 + port)
+        json.loads(path.read_text())  # never torn
+    assert [name for name in os.listdir(str(tmp_path))
+            if name.startswith(".registry-")] == []
+
+
+def test_simultaneous_publishers_lose_no_entries(tmp_path):
+    """The lost-update regression: N processes publishing at once must
+    all survive — read-merge-write without the flock drops entries when
+    every writer starts from the empty file."""
+    path = str(tmp_path / "reg.json")
+    code = ("import sys; from repro.realnet.registry import "
+            "HostRegistry; HostRegistry(sys.argv[1]).publish("
+            "sys.argv[2], '127.0.0.1', int(sys.argv[3]))")
+    hosts = ["h%d" % i for i in range(8)]
+    workers = [subprocess.Popen(
+        [sys.executable, "-c", code, path, host, str(7000 + i)],
+        env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)))
+        for i, host in enumerate(hosts)]
+    for worker in workers:
+        assert worker.wait(timeout=30) == 0
+    merged = HostRegistry(path).read()
+    assert sorted(merged) == hosts
+
+
+def test_remove_files_cleans_lock(tmp_path):
+    path = str(tmp_path / "reg.json")
+    registry = HostRegistry(path)
+    registry.publish("alpha", "127.0.0.1", 1)
+    assert os.path.exists(path) and os.path.exists(path + ".lock")
+    registry.remove_files()
+    assert not os.path.exists(path)
+    assert not os.path.exists(path + ".lock")
+
+
+def test_wait_for_times_out(tmp_path):
+    registry = HostRegistry(str(tmp_path / "reg.json"))
+    registry.publish("alpha", "127.0.0.1", 1)
+    assert registry.wait_for(["alpha"], timeout_s=0.2)
+    assert not registry.wait_for(["alpha", "ghost"], timeout_s=0.2,
+                                 poll_s=0.01)

@@ -48,3 +48,7 @@ def test_real_processes_example_runs():
     assert result.returncode == 0, result.stderr[-2000:]
     assert "genealogical snapshot" in result.stdout
     assert "coordinator" in result.stdout
+    # Part 2: the distributed PPM over real TCP.
+    assert "across a machine boundary" in result.stdout
+    assert "cross-host genealogical snapshot" in result.stdout
+    assert "fleet torn down" in result.stdout

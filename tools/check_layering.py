@@ -28,6 +28,22 @@ The simulator substrate gets its own rules:
    process-forking seam stays in the coordinator so every other module
    remains testable single-process.
 
+The backend abstraction (``repro.core.fabric``) adds its own rules:
+
+7. **No module in ``repro.core`` imports ``repro.netsim``, ever.**
+   The protocol stack sees backends only through the fabric contract;
+   the one adapter binding netsim to that contract lives in
+   ``netsim/fabric.py`` (below the seam, duck-typed).  This is the
+   rule that keeps the same stack runnable over real sockets.
+8. Real-network primitives stay in their backends: ``asyncio`` /
+   ``socket`` / ``selectors`` may be imported only by ``repro.realnet``
+   (and ``socket`` by ``repro.localos``, which names real hosts).  The
+   simulator, the protocol stack, and the tools stay loadable — and
+   deterministic — without ever touching a socket API.
+9. ``repro.realnet`` never imports ``repro.netsim``: the two backends
+   are siblings and must not entangle.  (The shared service-name
+   constants live in ``repro.unixsim.inetd``, which realnet may use.)
+
 Run from the repo root::
 
     python tools/check_layering.py
@@ -47,6 +63,18 @@ CORE = os.path.join(REPO_ROOT, "src", "repro", "core")
 CORE_PACKAGE = "repro.core"
 NETSIM = os.path.join(REPO_ROOT, "src", "repro", "netsim")
 NETSIM_PACKAGE = "repro.netsim"
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+REALNET = os.path.join(SRC_ROOT, "realnet")
+
+#: Real-network primitives; only the packages named in
+#: :data:`NETWORK_API_ALLOWED` may import them (rule 8).
+NETWORK_APIS = ("asyncio", "socket", "selectors", "ssl")
+
+#: package (relative to ``repro``) -> network APIs it may import.
+NETWORK_API_ALLOWED = {
+    "realnet": ("asyncio", "socket", "selectors", "ssl"),
+    "localos": ("socket",),
+}
 
 #: Packages above netsim in the layer diagram (DESIGN.md §6); nothing
 #: in the simulator substrate may import them.
@@ -80,7 +108,7 @@ LPM_ALLOWED_PREFIXES = (
     "typing",
     "repro.errors",
     "repro.ids",
-    "repro.netsim.latency",
+    "repro.latency",
     "repro.perf",
     "repro.tracing.events",
     "repro.unixsim.process",
@@ -187,6 +215,52 @@ def check() -> List[str]:
                 errors.append("netsim/%s imports multiprocessing: the "
                               "process-forking seam belongs to "
                               "parallel.py alone" % (filename,))
+
+    # Rule 7: the protocol stack never reaches below the fabric seam.
+    for filename in sorted(os.listdir(CORE)):
+        if not filename.endswith(".py"):
+            continue
+        imports = module_imports(os.path.join(CORE, filename),
+                                 CORE_PACKAGE)
+        for name in sorted(imports):
+            if _matches(name, ("repro.netsim",)):
+                errors.append("core/%s imports %r: the protocol stack "
+                              "must depend only on the fabric contract "
+                              "(repro.core.fabric), never on a backend"
+                              % (filename, name))
+
+    # Rule 8: real-network primitives confined to their backends.
+    for dirpath, dirnames, filenames in os.walk(SRC_ROOT):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        relative = os.path.relpath(dirpath, SRC_ROOT)
+        top = "" if relative == "." else relative.split(os.sep)[0]
+        allowed = NETWORK_API_ALLOWED.get(top, ())
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            package = "repro" if relative == "." else \
+                "repro." + relative.replace(os.sep, ".")
+            imports = module_imports(os.path.join(dirpath, filename),
+                                     package)
+            for name in sorted(imports):
+                if _matches(name, NETWORK_APIS) and \
+                        not _matches(name, allowed):
+                    errors.append(
+                        "%s imports %r: real-network APIs are confined "
+                        "to repro.realnet (socket also to repro."
+                        "localos)" % (os.path.join(
+                            relative, filename).lstrip("./"), name))
+
+    # Rule 9: the backends stay siblings.
+    for filename in sorted(os.listdir(REALNET)):
+        if not filename.endswith(".py"):
+            continue
+        imports = module_imports(os.path.join(REALNET, filename),
+                                 "repro.realnet")
+        for name in sorted(imports):
+            if _matches(name, ("repro.netsim",)):
+                errors.append("realnet/%s imports %r: the backends must "
+                              "not entangle" % (filename, name))
     return errors
 
 
