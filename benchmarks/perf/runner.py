@@ -40,6 +40,13 @@ runs through:
     ratio, and the span volume.  ``--trace-out`` additionally exports
     the traced run as Chrome trace-event JSON.
 
+``doctor_sweep``
+    The operational surface's read-only contract: repeated
+    ``probe_world`` + ``run_doctor`` sweeps over a live multi-host
+    session, asserting the simulated clock and the event-schedule
+    count are untouched afterwards — the doctor in the loop cannot
+    move a single ``sim_ms`` (see ``docs/OPERATIONS.md``).
+
 ``locate_200_hosts``
     The steady-state LOCATE cost at scale (24 hosts under --smoke):
     the full-mesh overlay, where every lookup floods all O(n²) edges,
@@ -446,7 +453,55 @@ def bench_span_overhead(smoke: bool = False, trace_out=None) -> dict:
 
 
 # ----------------------------------------------------------------------
-# Scenarios 7/8: steady-state LOCATE at scale (harness-based, shardable)
+# Scenario 7: doctor sweep — the ops layer's read-only guarantee
+# ----------------------------------------------------------------------
+
+def bench_doctor_sweep(smoke: bool = False) -> dict:
+    from repro.ops import probe_world, run_doctor
+
+    n_hosts = 6 if smoke else 40
+    sweeps = 20 if smoke else 200
+    world = World(seed=31)
+    names = ["h%02d" % i for i in range(n_hosts)]
+    for name in names:
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    world.write_recovery_file("lfc", [names[0]])
+    origin = PPMClient(world, "lfc", names[0]).connect()
+    for name in names[1:]:
+        origin.create_process("job-%s" % name, host=name,
+                              program=spinner_spec(None))
+    world.run_for(2_000.0)
+
+    def run() -> dict:
+        # The contract OPERATIONS.md sells: probing is pure observation.
+        # Any event the probe scheduled or any clock tick it consumed
+        # would shift every sim_ms after it — so assert both are frozen.
+        sim_before = world.sim.now_ms
+        events_before = PERF.snapshot()["events_scheduled"]
+        healthy = 0
+        checks_run = 0
+        for _ in range(sweeps):
+            report = run_doctor(probe_world(world))
+            healthy += report.ok
+            checks_run += len(report.results)
+        assert world.sim.now_ms == sim_before, \
+            "doctor sweep advanced the simulated clock"
+        assert PERF.snapshot()["events_scheduled"] == events_before, \
+            "doctor sweep scheduled simulator events"
+        assert healthy == sweeps
+        return {"n_hosts": n_hosts, "sweeps": sweeps,
+                "checks_run": checks_run,
+                "doctor_runs": PERF.snapshot()["doctor_runs"],
+                "sim_ms": round(world.sim.now_ms, 3)}
+
+    return _measure(run)
+
+
+# ----------------------------------------------------------------------
+# Scenarios 8/9: steady-state LOCATE at scale (harness-based, shardable)
 # ----------------------------------------------------------------------
 
 def _scenario_metrics(outcome) -> dict:
@@ -514,6 +569,7 @@ SCENARIOS = {
     "gather_merge_40": bench_gather_merge,
     "stream_flood": bench_stream_flood,
     "span_overhead": bench_span_overhead,
+    "doctor_sweep": bench_doctor_sweep,
     "locate_200_hosts": bench_locate,
     "locate_500_hosts": bench_locate_500,
 }

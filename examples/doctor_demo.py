@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Health checking: the doctor, its checks, and operational triggers.
+
+Builds a small network, arms the standard operational triggers
+(``repro.ops.triggers``), and runs ``repro doctor``'s check sweep
+three times: against the healthy world, after a host crash, and after
+stranding an orphan process.  Each report names the failing check in
+triage order and carries a distinct exit code — the contract scripts
+and CI match on (see ``docs/OPERATIONS.md``).
+
+Run:  python examples/doctor_demo.py
+"""
+
+from repro import (
+    HostClass,
+    PersonalProcessManager,
+    TriggerEngine,
+    World,
+)
+from repro.ops import install_ops_triggers, probe_world, run_doctor
+
+
+def show(title, report):
+    print("--- %s " % title + "-" * max(0, 50 - len(title)))
+    print(report.render())
+    print()
+
+
+def main() -> None:
+    # --- the network: three machines, one user, one PPM session ------
+    world = World(seed=9)
+    for name in ("home", "compute1", "compute2"):
+        world.add_host(name, HostClass.VAX_780)
+    world.ethernet()
+    world.add_user("lfc", uid=1001)
+    world.add_user("guest", uid=1002)
+    ppm = PersonalProcessManager(world, "lfc", "home",
+                                 recovery_hosts=["home", "compute1"])
+    ppm.enable_span_tracing()
+    ppm.start()
+
+    # --- arm the standard operational triggers -----------------------
+    engine = TriggerEngine(world.recorder)
+    alerts = install_ops_triggers(engine)
+
+    ppm.create_process("coordinator", host="home")
+    ppm.create_process("solver", host="compute1")
+    ppm.create_process("solver", host="compute2")
+    world.run_for(2_000.0)
+
+    # --- sweep 1: a healthy computation ------------------------------
+    report = run_doctor(probe_world(world, alerts=alerts))
+    show("healthy", report)
+
+    # --- sweep 2: a crashed host (and the host-down trigger) ---------
+    world.host("compute2").crash()
+    world.run_for(10_000.0)  # let the failure detector notice
+    report = run_doctor(probe_world(world, alerts=alerts))
+    show("after crashing compute2", report)
+    print("exit code: %d (first failing check %r)\n"
+          % (report.exit_code, report.failing[0].name))
+
+    # --- sweep 3: an orphaned process --------------------------------
+    # A process started outside any LPM's administration (guest has no
+    # PPM session anywhere): the doctor flags it even though every
+    # daemon and LPM is healthy.
+    world.host("compute1").spawn_user_process("guest", "stray-job")
+    report = run_doctor(probe_world(world, alerts=alerts))
+    show("after stranding a process", report)
+
+    engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Five subcommands:
+Subcommands:
 
 * ``demo``  — build a small simulated network, run a representative
   session, and print the tool output (a self-contained tour).
@@ -8,13 +8,19 @@ Five subcommands:
   the :class:`repro.core.shell.PPMShell` command interpreter.
 * ``stats`` — run the demo session with span tracing enabled and
   pretty-print ``PPM.perf_stats()``: the hot-path counters plus the
-  per-operation-class latency percentiles.
+  per-operation-class latency percentiles (and any operational
+  trigger alerts the session raised).
 * ``trace`` — the same session, exported as Chrome trace-event JSON
   (load the file at https://ui.perfetto.dev).
+* ``shards`` — run the lockstep-shard demo and verify K-shard
+  execution is byte-identical to the single-threaded run.
 * ``serve`` — become one *real* PPM host: an asyncio TCP listener in
   this OS process (the realnet backend; see ``docs/BACKENDS.md``).
 * ``run-real`` — launch N serve processes and drive the demo session
   over real sockets with the same client code the simulator uses.
+* ``doctor`` — health-check a deployment and exit non-zero when it is
+  sick: the netsim demo world by default, or a live serve fleet with
+  ``--registry`` (see ``docs/OPERATIONS.md``).
 * ``version`` — print the package version.
 """
 
@@ -108,12 +114,23 @@ def cmd_shell(args) -> int:
     return 0
 
 
-def _run_traced_session(seed: int):
+def _run_traced_session(seed: int, baseline=None):
     """The ``demo`` script's workload with span tracing on; returns
-    ``(world, ppm)`` with the session's spans and histograms collected."""
+    ``(world, ppm, alerts)`` with the session's spans and histograms
+    collected and the standard operational triggers armed (``alerts``
+    is their shared alert log — see :mod:`repro.ops.triggers`)."""
+    from .ops import install_ops_triggers
     from .perf import PERF
+    from .tracing.triggers import TriggerEngine
     PERF.reset()
     world, ppm = build_demo_world(seed=seed, trace=True)
+    lpm = world.lpms[("ucbvax", "lfc")]
+    engine = TriggerEngine(world.recorder)
+    alerts = install_ops_triggers(
+        engine,
+        summary_fn=world.sim.tracer.latency_summary,
+        baseline=baseline,
+        dedup_size_fn=lpm.broadcast.seen_count)
     coordinator = ppm.create_process("coordinator", host="ucbvax")
     ppm.create_process("solver", host="ucbarpa", parent=coordinator)
     remote = ppm.create_process("solver", host="ucbernie",
@@ -122,15 +139,14 @@ def _run_traced_session(seed: int):
     ppm.rstats_report()
     # Exercise the broadcast path too: a LOCATE flood over the sibling
     # graph (the demo's direct links mean tool requests never need one).
-    lpm = world.lpms[("ucbvax", "lfc")]
     lpm.locate(remote.host, remote.pid, lambda reply: None)
     world.run_for(2_000.0)
     ppm.snapshot()
-    return world, ppm
+    return world, ppm, alerts
 
 
 def cmd_stats(args) -> int:
-    world, ppm = _run_traced_session(args.seed)
+    world, ppm, alerts = _run_traced_session(args.seed)
     stats = ppm.perf_stats()
     latency = stats.pop("latency_ms", {})
     from .util import format_table
@@ -156,12 +172,21 @@ def cmd_stats(args) -> int:
         ["operation", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
          "max_ms"],
         latency_rows, title="latency histograms (simulated ms)"))
+    print()
+    if alerts:
+        alert_rows = [[alert.name, "%.3f" % alert.time_ms, alert.detail]
+                      for alert in alerts]
+        print(format_table(["trigger", "time_ms", "detail"], alert_rows,
+                           title="operational alerts"))
+    else:
+        print("operational alerts: none "
+              "(standard ops triggers were armed; see repro doctor)")
     return 0
 
 
 def cmd_trace(args) -> int:
     from .perf.chrometrace import write_chrome_trace
-    world, ppm = _run_traced_session(args.seed)
+    world, ppm, alerts = _run_traced_session(args.seed)
     tracer = world.sim.tracer
     count = write_chrome_trace(tracer, args.out)
     print("wrote %d trace events (%d spans, %d dropped) to %s"
@@ -251,6 +276,41 @@ def cmd_run_real(args) -> int:
     return 0
 
 
+def cmd_doctor(args) -> int:
+    """Health-check a deployment; exit 0 healthy, else the exit code
+    of the first failing check in triage order (docs/OPERATIONS.md)."""
+    import json
+
+    from .ops import (load_baseline, probe_fleet, probe_world,
+                      run_doctor, write_baseline)
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    if args.registry:
+        view = probe_fleet(args.registry,
+                           expected_hosts=args.hosts or None,
+                           timeout_ms=args.timeout_ms)
+    else:
+        world, ppm, alerts = _run_traced_session(args.seed,
+                                                 baseline=baseline)
+        if args.inject == "dead-host":
+            # Break the world on purpose (CI uses this to prove the
+            # doctor notices): crash a host, then run long enough for
+            # the failure detector to record FAILURE_DETECTED.
+            world.host("ucbernie").crash()
+            world.run_for(10_000.0)
+        view = probe_world(world, alerts=alerts)
+    report = run_doctor(view, baseline=baseline)
+    if args.write_baseline:
+        p99s = write_baseline(args.write_baseline, view)
+        print("wrote baseline (%d operation classes) to %s"
+              % (len(p99s), args.write_baseline))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def cmd_version(args) -> int:
     print("repro %s — Berkeley PPM reproduction (ICDCS 1986)"
           % (__version__,))
@@ -317,6 +377,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_real.add_argument("--trace-spans", action="store_true",
                           help="trace client-side spans")
     run_real.set_defaults(fn=cmd_run_real)
+
+    doctor = sub.add_parser(
+        "doctor", help="health-check a deployment: netsim demo world "
+                       "by default, a live serve fleet with --registry")
+    doctor.add_argument("--seed", type=int, default=1)
+    doctor.add_argument("--inject", choices=["dead-host"], default=None,
+                        help="netsim only: break the world before "
+                             "checking (CI self-test)")
+    doctor.add_argument("--registry", default=None,
+                        help="probe the live fleet sharing this "
+                             "registry file instead of netsim")
+    doctor.add_argument("--hosts", nargs="*", default=None,
+                        help="expected fleet roster (catches hosts "
+                             "that never published)")
+    doctor.add_argument("--timeout-ms", type=float, default=3000.0,
+                        dest="timeout_ms",
+                        help="per-host probe timeout (realnet mode)")
+    doctor.add_argument("--baseline", default=None,
+                        help="JSON p99 baseline for the latency SLO "
+                             "check (see --write-baseline)")
+    doctor.add_argument("--write-baseline", default=None,
+                        dest="write_baseline",
+                        help="record this run's p99s as the baseline")
+    doctor.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    doctor.set_defaults(fn=cmd_doctor)
 
     version = sub.add_parser("version", help="print the version")
     version.set_defaults(fn=cmd_version)

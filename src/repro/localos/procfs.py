@@ -69,6 +69,42 @@ def read_stat(pid: int) -> Optional[ProcStat]:
                     stime_ticks=int(fields[12]))
 
 
+#: Tag embedded in the argv of every default child the realnet LPM
+#: spawns, so an orphan scan can recognise PPM-created processes after
+#: the serve process that owned them is gone.
+ORPHAN_MARKER = "repro-ppm-child"
+
+
+def find_marked_orphans(marker: str = ORPHAN_MARKER) -> List[dict]:
+    """PPM-created processes whose manager died.
+
+    A process counts as orphaned when its command line carries the
+    spawn ``marker`` and it has been reparented to init — exactly what
+    a SIGKILLed serve process leaves behind: the managed children keep
+    running with nobody administering them.
+    """
+    orphans: List[dict] = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        pid = int(entry)
+        try:
+            with open("/proc/%d/cmdline" % pid, "rb") as handle:
+                cmdline = handle.read().replace(b"\0", b" ").decode(
+                    "utf-8", "replace")
+        except OSError:
+            continue
+        if marker not in cmdline:
+            continue
+        stat = read_stat(pid)
+        if stat is None or stat.state == "exited":
+            continue
+        if stat.ppid == 1:
+            orphans.append({"pid": pid, "command": stat.command,
+                            "cmdline": cmdline.strip()})
+    return orphans
+
+
 def children_map() -> Dict[int, List[int]]:
     """Map every ppid -> child pids, from one /proc scan."""
     result: Dict[int, List[int]] = {}

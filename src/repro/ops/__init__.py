@@ -1,0 +1,77 @@
+"""The operational surface: health checks, the doctor, ops triggers.
+
+``repro.ops`` answers the operator's question the paper motivates —
+"is my computation healthy, and if not, where?" — for both backends:
+
+* :mod:`repro.ops.checks` — the backend-neutral check library
+  (:class:`WorldView` in, :class:`DoctorReport` with named checks and
+  distinct exit codes out).
+* :mod:`repro.ops.doctor` — the probes (netsim world in-process,
+  realnet fleet over TCP) and :func:`run_doctor`.
+* :mod:`repro.ops.triggers` — prebuilt operational triggers (p99
+  regression, tree-repair storm, CCS flap, dedup-cache blowup,
+  retransmission storm, host down) over the paper's trigger engine.
+
+Everything here is read-only and opt-in: probing a world never sends
+protocol messages on the netsim backend, never perturbs the RNG or
+event queue, and the triggers only run once installed.  See
+``docs/OPERATIONS.md`` for the runbook.
+"""
+
+from .checks import (
+    CHECK_ORDER,
+    EXIT_CODES,
+    CheckResult,
+    DoctorConfig,
+    DoctorReport,
+    HostHealth,
+    LpmHealth,
+    OpsAlert,
+    OrphanRecord,
+    WorldView,
+    run_checks,
+)
+from .doctor import (
+    alerts_from_engine,
+    load_baseline,
+    probe_fleet,
+    probe_world,
+    run_doctor,
+    write_baseline,
+)
+from .triggers import (
+    ccs_flap_trigger,
+    dedup_cache_blowup_trigger,
+    host_down_trigger,
+    install_ops_triggers,
+    p99_regression_trigger,
+    retransmission_storm_trigger,
+    tree_repair_storm_trigger,
+)
+
+__all__ = [
+    "CHECK_ORDER",
+    "EXIT_CODES",
+    "CheckResult",
+    "DoctorConfig",
+    "DoctorReport",
+    "HostHealth",
+    "LpmHealth",
+    "OpsAlert",
+    "OrphanRecord",
+    "WorldView",
+    "run_checks",
+    "alerts_from_engine",
+    "load_baseline",
+    "probe_fleet",
+    "probe_world",
+    "run_doctor",
+    "write_baseline",
+    "ccs_flap_trigger",
+    "dedup_cache_blowup_trigger",
+    "host_down_trigger",
+    "install_ops_triggers",
+    "p99_regression_trigger",
+    "retransmission_storm_trigger",
+    "tree_repair_storm_trigger",
+]

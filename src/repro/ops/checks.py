@@ -1,0 +1,437 @@
+"""The health-check library: pure functions over a :class:`WorldView`.
+
+The doctor's architecture mirrors the PR 7 fabric seam: everything
+backend-specific lives in a *probe* (:mod:`repro.ops.doctor` for netsim
+worlds, :func:`repro.realnet.session.probe_fleet` for live serve
+fleets), and the probes converge on one backend-neutral
+:class:`WorldView`.  Every check in this module consumes only that
+view, so the same checks — and the same verdict names, details, and
+exit codes — serve both backends.
+
+Checks are ordered by the triage runbook (``docs/OPERATIONS.md``):
+daemon layer first, then LPMs, then the overlay, then outstanding
+obligations (RPC), then throttling/SLOs.  The doctor's exit code is
+the code of the *first* failing check in that order, so a non-zero
+exit always names the highest-priority broken layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Check name -> distinct process exit code, in triage order.  0 is
+#: reserved for "healthy"; the codes are part of the CLI contract
+#: (scripts and CI match on them) and must never be renumbered.
+EXIT_CODES = {
+    "daemon-liveness": 10,
+    "lpm-liveness": 11,
+    "orphan-processes": 12,
+    "overlay-degree": 13,
+    "broadcast-coverage": 14,
+    "rpc-anomalies": 15,
+    "latency-slo": 16,
+    "registry-staleness": 17,
+    "trigger-alerts": 18,
+}
+
+#: The triage order (dict order is insertion order, but be explicit).
+CHECK_ORDER = tuple(EXIT_CODES)
+
+
+# ----------------------------------------------------------------------
+# The backend-neutral view the probes produce
+# ----------------------------------------------------------------------
+
+@dataclass
+class HostHealth:
+    """One host as the probe saw it."""
+
+    name: str
+    up: bool
+    daemon: bool          #: inetd/pmd (netsim) or serve process (realnet)
+    detail: str = ""
+
+
+@dataclass
+class LpmHealth:
+    """One (host, user) LPM as the probe saw it."""
+
+    host: str
+    user: str
+    alive: bool
+    siblings: Tuple[str, ...] = ()
+    pending_requests: int = 0
+
+
+@dataclass
+class OrphanRecord:
+    """A live process no live LPM administers."""
+
+    host: str
+    user: str
+    pid: int
+    command: str
+
+
+@dataclass
+class OpsAlert:
+    """One operational-trigger firing surfaced to the doctor."""
+
+    name: str
+    detail: str
+    time_ms: float
+
+
+@dataclass
+class WorldView:
+    """Everything the checks need, backend-neutral."""
+
+    backend: str                                 #: "netsim" | "realnet"
+    expected_hosts: Tuple[str, ...] = ()
+    hosts: Dict[str, HostHealth] = field(default_factory=dict)
+    lpms: List[LpmHealth] = field(default_factory=list)
+    orphans: List[OrphanRecord] = field(default_factory=list)
+    #: Degree bound k when the sparse overlay policy is active; None
+    #: means the bound (and tree coverage) is not an invariant here.
+    sparse_degree: Optional[int] = None
+    topology_policy: str = "on_demand"
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: op class -> histogram summary (from ``tracer.latency_summary()``).
+    latency: Dict[str, dict] = field(default_factory=dict)
+    #: realnet only: host -> (address, port) as published.
+    registry_entries: Dict[str, tuple] = field(default_factory=dict)
+    #: realnet only: published hosts whose listener no longer answers.
+    stale_entries: List[str] = field(default_factory=list)
+    alerts: List[OpsAlert] = field(default_factory=list)
+
+
+@dataclass
+class DoctorConfig:
+    """Thresholds; defaults sized so a healthy demo session passes."""
+
+    #: ``requests_retransmitted`` beyond this is an RPC anomaly.
+    max_retransmits: int = 25
+    #: Outstanding requests on any one LPM beyond this is an anomaly.
+    max_pending_requests: int = 64
+    #: p99 regression factor against the recorded baseline.
+    slo_factor: float = 2.0
+    #: Histogram classes with fewer samples than this are not judged.
+    slo_min_count: int = 5
+    #: Sparse-overlay degree slack: a node owns ~k outgoing ring/chord
+    #: edges and accepts up to ~k incoming ones, so 2k is the bound.
+    degree_slack: int = 2
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+@dataclass
+class CheckResult:
+    """One check's verdict."""
+
+    name: str
+    ok: bool
+    detail: str
+    data: dict = field(default_factory=dict)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else EXIT_CODES[self.name]
+
+
+class DoctorReport:
+    """The ordered check results plus the exit-code contract."""
+
+    def __init__(self, backend: str, results: Sequence[CheckResult],
+                 view: Optional[WorldView] = None) -> None:
+        self.backend = backend
+        self.results = list(results)
+        self.view = view
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failing(self) -> List[CheckResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when healthy; else the first failing check's code, in
+        triage order — the highest-priority broken layer names the
+        exit."""
+        for result in self.results:
+            if not result.ok:
+                return result.exit_code
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "checks": [{"name": r.name, "ok": r.ok, "detail": r.detail,
+                        "exit_code": r.exit_code, "data": r.data}
+                       for r in self.results],
+        }
+
+    def render(self) -> str:
+        from ..util import format_table
+        rows = [[result.name, "ok" if result.ok else "FAIL",
+                 result.detail] for result in self.results]
+        table = format_table(
+            ["check", "status", "detail"], rows,
+            title="doctor report (%s backend)" % (self.backend,))
+        if self.ok:
+            verdict = "doctor: healthy (exit 0)"
+        else:
+            first = self.failing[0]
+            verdict = ("doctor: UNHEALTHY — first failing check "
+                       "'%s' (exit %d)" % (first.name, first.exit_code))
+        return "%s\n%s" % (table, verdict)
+
+
+# ----------------------------------------------------------------------
+# The checks, in triage order
+# ----------------------------------------------------------------------
+
+def check_daemon_liveness(view: WorldView,
+                          config: DoctorConfig) -> CheckResult:
+    """Every expected host is up and its daemon layer answers."""
+    missing = [h for h in view.expected_hosts if h not in view.hosts]
+    down = [h.name for h in view.hosts.values() if not h.up]
+    dead_daemon = [h.name for h in view.hosts.values()
+                   if h.up and not h.daemon]
+    problems = []
+    if missing:
+        problems.append("unprobed: %s" % ", ".join(sorted(missing)))
+    if down:
+        problems.append("down: %s" % ", ".join(sorted(down)))
+    if dead_daemon:
+        problems.append("daemon dead: %s" % ", ".join(sorted(dead_daemon)))
+    if problems:
+        return CheckResult("daemon-liveness", False, "; ".join(problems),
+                           {"missing": sorted(missing),
+                            "down": sorted(down),
+                            "daemon_dead": sorted(dead_daemon)})
+    return CheckResult("daemon-liveness", True,
+                       "%d/%d hosts up, daemons answering"
+                       % (len(view.hosts), len(view.expected_hosts)))
+
+
+def check_lpm_liveness(view: WorldView,
+                       config: DoctorConfig) -> CheckResult:
+    """Every registered LPM is actually running."""
+    dead = [lpm for lpm in view.lpms if not lpm.alive]
+    if dead:
+        detail = "dead LPMs: %s" % ", ".join(
+            sorted("%s@%s" % (lpm.user, lpm.host) for lpm in dead))
+        return CheckResult("lpm-liveness", False, detail,
+                           {"dead": [(l.host, l.user) for l in dead]})
+    if not view.lpms:
+        return CheckResult("lpm-liveness", True,
+                           "no LPMs registered (idle world)")
+    return CheckResult("lpm-liveness", True,
+                       "%d LPM(s) alive" % len(view.lpms))
+
+
+def check_orphans(view: WorldView, config: DoctorConfig) -> CheckResult:
+    """No live process lacks a live LPM administering it."""
+    if view.orphans:
+        sample = ", ".join("%s pid %d (%s)" % (o.host, o.pid, o.command)
+                           for o in view.orphans[:4])
+        extra = "" if len(view.orphans) <= 4 else \
+            " (+%d more)" % (len(view.orphans) - 4)
+        return CheckResult(
+            "orphan-processes", False,
+            "%d orphaned: %s%s" % (len(view.orphans), sample, extra),
+            {"orphans": [(o.host, o.user, o.pid, o.command)
+                         for o in view.orphans]})
+    return CheckResult("orphan-processes", True, "no orphaned processes")
+
+
+def check_overlay_degree(view: WorldView,
+                         config: DoctorConfig) -> CheckResult:
+    """Under the sparse policy, every LPM's degree stays <= slack*k."""
+    if view.sparse_degree is None:
+        return CheckResult(
+            "overlay-degree", True,
+            "degree bound not applicable (policy %r)"
+            % (view.topology_policy,))
+    bound = config.degree_slack * view.sparse_degree
+    over = [(lpm, len(lpm.siblings)) for lpm in view.lpms
+            if lpm.alive and len(lpm.siblings) > bound]
+    if over:
+        detail = "degree over %d: %s" % (bound, ", ".join(
+            "%s@%s=%d" % (lpm.user, lpm.host, deg)
+            for lpm, deg in over[:4]))
+        return CheckResult("overlay-degree", False, detail,
+                           {"bound": bound,
+                            "over": [(l.host, l.user, d)
+                                     for l, d in over]})
+    degrees = [len(lpm.siblings) for lpm in view.lpms if lpm.alive]
+    return CheckResult(
+        "overlay-degree", True,
+        "max degree %d <= bound %d (k=%d)"
+        % (max(degrees) if degrees else 0, bound, view.sparse_degree))
+
+
+def check_broadcast_coverage(view: WorldView,
+                             config: DoctorConfig) -> CheckResult:
+    """Under the sparse policy, the live sibling graph is connected, so
+    a broadcast tree rooted anywhere can reach every live LPM."""
+    if view.sparse_degree is None:
+        return CheckResult(
+            "broadcast-coverage", True,
+            "coverage enforced under the sparse policy only (policy %r)"
+            % (view.topology_policy,))
+    live = {lpm.host: lpm for lpm in view.lpms if lpm.alive}
+    if len(live) <= 1:
+        return CheckResult("broadcast-coverage", True,
+                           "%d live LPM(s): trivially covered"
+                           % len(live))
+    # Undirected reachability over live sibling edges.
+    edges: Dict[str, set] = {host: set() for host in live}
+    for lpm in live.values():
+        for peer in lpm.siblings:
+            if peer in live:
+                edges[lpm.host].add(peer)
+                edges[peer].add(lpm.host)
+    start = sorted(live)[0]
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        for peer in edges[frontier.pop()]:
+            if peer not in seen:
+                seen.add(peer)
+                frontier.append(peer)
+    unreachable = sorted(set(live) - seen)
+    if unreachable:
+        return CheckResult(
+            "broadcast-coverage", False,
+            "overlay partitioned: %s unreachable from %s"
+            % (", ".join(unreachable), start),
+            {"unreachable": unreachable, "from": start})
+    return CheckResult("broadcast-coverage", True,
+                       "all %d live LPMs reachable" % len(live))
+
+
+def check_rpc_anomalies(view: WorldView,
+                        config: DoctorConfig) -> CheckResult:
+    """Retransmission and pending-request volumes look sane."""
+    retransmits = view.counters.get("requests_retransmitted", 0)
+    worst = max(view.lpms, key=lambda l: l.pending_requests,
+                default=None)
+    problems = []
+    if retransmits > config.max_retransmits:
+        problems.append("%d retransmissions (threshold %d)"
+                        % (retransmits, config.max_retransmits))
+    if worst is not None and \
+            worst.pending_requests > config.max_pending_requests:
+        problems.append("%d pending requests on %s@%s (threshold %d)"
+                        % (worst.pending_requests, worst.user,
+                           worst.host, config.max_pending_requests))
+    if problems:
+        return CheckResult("rpc-anomalies", False, "; ".join(problems),
+                           {"retransmits": retransmits})
+    return CheckResult(
+        "rpc-anomalies", True,
+        "%d retransmissions, max %d pending"
+        % (retransmits,
+           worst.pending_requests if worst is not None else 0))
+
+
+def check_latency_slo(view: WorldView, config: DoctorConfig,
+                      baseline: Optional[Dict[str, float]] = None
+                      ) -> CheckResult:
+    """Per-operation p99 stays within ``slo_factor`` of the recorded
+    baseline (see ``repro doctor --write-baseline``)."""
+    if not baseline:
+        return CheckResult("latency-slo", True,
+                           "no baseline recorded; SLO check skipped")
+    regressions = []
+    for op, budget_p99 in sorted(baseline.items()):
+        block = view.latency.get(op)
+        if block is None or budget_p99 is None or budget_p99 <= 0:
+            continue
+        if block.get("count", 0) < config.slo_min_count:
+            continue
+        p99 = block.get("p99_ms")
+        if p99 is not None and p99 > config.slo_factor * budget_p99:
+            regressions.append("%s p99 %.1fms > %.1fx baseline %.1fms"
+                               % (op, p99, config.slo_factor,
+                                  budget_p99))
+    if regressions:
+        return CheckResult("latency-slo", False,
+                           "; ".join(regressions),
+                           {"regressions": regressions})
+    return CheckResult("latency-slo", True,
+                       "p99 within %.1fx of baseline for %d op class(es)"
+                       % (config.slo_factor, len(baseline)))
+
+
+def check_registry_staleness(view: WorldView,
+                             config: DoctorConfig) -> CheckResult:
+    """Every published realnet registry entry still answers."""
+    if view.backend != "realnet":
+        return CheckResult("registry-staleness", True,
+                           "no registry on the %s backend"
+                           % (view.backend,))
+    if view.stale_entries:
+        return CheckResult(
+            "registry-staleness", False,
+            "stale entries (published but not answering): %s"
+            % ", ".join(sorted(view.stale_entries)),
+            {"stale": sorted(view.stale_entries)})
+    return CheckResult("registry-staleness", True,
+                       "%d registry entries, all answering"
+                       % len(view.registry_entries))
+
+
+def check_trigger_alerts(view: WorldView,
+                         config: DoctorConfig) -> CheckResult:
+    """No operational trigger has fired."""
+    if view.alerts:
+        sample = "; ".join("%s (%s)" % (a.name, a.detail)
+                           for a in view.alerts[:3])
+        extra = "" if len(view.alerts) <= 3 else \
+            " (+%d more)" % (len(view.alerts) - 3)
+        return CheckResult(
+            "trigger-alerts", False,
+            "%d alert(s): %s%s" % (len(view.alerts), sample, extra),
+            {"alerts": [(a.name, a.detail, a.time_ms)
+                        for a in view.alerts]})
+    return CheckResult("trigger-alerts", True,
+                       "no operational triggers fired")
+
+
+#: name -> function; iterated in CHECK_ORDER by :func:`run_checks`.
+_CHECK_FNS = {
+    "daemon-liveness": check_daemon_liveness,
+    "lpm-liveness": check_lpm_liveness,
+    "orphan-processes": check_orphans,
+    "overlay-degree": check_overlay_degree,
+    "broadcast-coverage": check_broadcast_coverage,
+    "rpc-anomalies": check_rpc_anomalies,
+    "latency-slo": check_latency_slo,
+    "registry-staleness": check_registry_staleness,
+    "trigger-alerts": check_trigger_alerts,
+}
+
+
+def run_checks(view: WorldView,
+               baseline: Optional[Dict[str, float]] = None,
+               config: Optional[DoctorConfig] = None) -> DoctorReport:
+    """Run every check against the view, in triage order."""
+    config = config if config is not None else DoctorConfig()
+    results = []
+    for name in CHECK_ORDER:
+        fn = _CHECK_FNS[name]
+        if name == "latency-slo":
+            results.append(fn(view, config, baseline))
+        else:
+            results.append(fn(view, config))
+    return DoctorReport(view.backend, results, view=view)

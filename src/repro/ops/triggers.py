@@ -1,0 +1,213 @@
+"""Prebuilt operational triggers.
+
+The paper's trigger machinery (:mod:`repro.tracing.triggers`) lets a
+user fire arbitrary actions on history-dependent conditions; this
+module ships the conditions an *operator* wants armed by default:
+
+``ops:p99-regression``
+    A latency histogram's p99 exceeded ``factor`` x its recorded
+    baseline (source: ``tracer.latency_summary()``).
+``ops:tree-repair-storm``
+    ``PERF.tree_repairs`` grew by more than ``threshold`` since the
+    trigger was armed — the broadcast trees are thrashing.
+``ops:ccs-flap``
+    The crash-coordinator role changed hands (``CCS_ASSUMED`` /
+    ``CCS_RELINQUISHED``) ``threshold`` or more times inside
+    ``window_ms`` — recovery is oscillating instead of settling.
+``ops:dedup-cache-blowup``
+    The broadcast dedup seen-set exceeded ``threshold`` entries —
+    stamps are not expiring (retention misconfigured or a flood loop).
+``ops:retransmission-storm``
+    ``PERF.requests_retransmitted`` grew past ``threshold`` since
+    arming — the RPC layer is fighting loss instead of making calls.
+``ops:host-down``
+    A ``FAILURE_DETECTED`` event was recorded (a sibling's circuit
+    broke and the failure detector noticed).
+
+Each firing appends an :class:`~repro.ops.checks.OpsAlert` to the
+shared alert log, which ``repro doctor`` surfaces through the
+``trigger-alerts`` check and ``repro stats`` prints.  All triggers are
+``once=True``: an alert is a latched fact for the operator to clear,
+not a log line to repeat.  Nothing here is armed by default — worlds
+without :func:`install_ops_triggers` schedule nothing and stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..perf import PERF
+from ..tracing.events import TraceEventType
+from ..tracing.triggers import Trigger
+from .checks import OpsAlert
+
+
+def _alerting(name: str, alerts: List[OpsAlert],
+              detail_fn: Callable[[], str]) -> Callable:
+    """The default action: latch one alert on the shared log."""
+    def action(event) -> None:
+        PERF.ops_alerts_raised += 1
+        alerts.append(OpsAlert(name=name, detail=detail_fn(),
+                               time_ms=event.time_ms))
+    return action
+
+
+def p99_regression_trigger(summary_fn: Callable[[], Dict[str, dict]],
+                           baseline_p99_ms: float,
+                           alerts: List[OpsAlert],
+                           op: str = "rpc_rtt",
+                           factor: float = 2.0,
+                           min_count: int = 5) -> Trigger:
+    """Fire when ``op``'s p99 exceeds ``factor`` x the baseline."""
+    state = {"p99": None}
+
+    def predicate(event, history) -> bool:
+        block = summary_fn().get(op) or {}
+        if block.get("count", 0) < min_count:
+            return False
+        p99 = block.get("p99_ms")
+        if p99 is None or p99 <= factor * baseline_p99_ms:
+            return False
+        state["p99"] = p99
+        return True
+
+    return Trigger(
+        name="ops:p99-regression",
+        action=_alerting(
+            "ops:p99-regression", alerts,
+            lambda: "%s p99 %.1fms > %.1fx baseline %.1fms"
+            % (op, state["p99"], factor, baseline_p99_ms)),
+        predicate=predicate, once=True)
+
+
+def tree_repair_storm_trigger(alerts: List[OpsAlert],
+                              threshold: int = 10) -> Trigger:
+    """Fire when tree repairs since arming exceed ``threshold``."""
+    start = PERF.tree_repairs
+
+    def predicate(event, history) -> bool:
+        return PERF.tree_repairs - start >= threshold
+
+    return Trigger(
+        name="ops:tree-repair-storm",
+        action=_alerting(
+            "ops:tree-repair-storm", alerts,
+            lambda: "%d tree repairs since armed (threshold %d)"
+            % (PERF.tree_repairs - start, threshold)),
+        predicate=predicate, once=True)
+
+
+def ccs_flap_trigger(alerts: List[OpsAlert],
+                     window_ms: float = 60_000.0,
+                     threshold: int = 3) -> Trigger:
+    """Fire when the CCS role flaps ``threshold`` times in a window."""
+    flap_types = (TraceEventType.CCS_ASSUMED,
+                  TraceEventType.CCS_RELINQUISHED)
+    state = {"count": 0}
+
+    def predicate(event, history) -> bool:
+        if event.event_type not in flap_types:
+            return False
+        count = sum(history.count_in_window(event.time_ms, window_ms,
+                                            flap_type)
+                    for flap_type in flap_types)
+        state["count"] = count
+        return count >= threshold
+
+    return Trigger(
+        name="ops:ccs-flap",
+        action=_alerting(
+            "ops:ccs-flap", alerts,
+            lambda: "%d CCS role changes in %.0fms (threshold %d)"
+            % (state["count"], window_ms, threshold)),
+        predicate=predicate, once=True)
+
+
+def dedup_cache_blowup_trigger(size_fn: Callable[[], int],
+                               alerts: List[OpsAlert],
+                               threshold: int = 10_000) -> Trigger:
+    """Fire when the broadcast dedup seen-set exceeds ``threshold``."""
+    state = {"size": 0}
+
+    def predicate(event, history) -> bool:
+        size = size_fn()
+        if size <= threshold:
+            return False
+        state["size"] = size
+        return True
+
+    return Trigger(
+        name="ops:dedup-cache-blowup",
+        action=_alerting(
+            "ops:dedup-cache-blowup", alerts,
+            lambda: "dedup seen-set at %d entries (threshold %d)"
+            % (state["size"], threshold)),
+        predicate=predicate, once=True)
+
+
+def retransmission_storm_trigger(alerts: List[OpsAlert],
+                                 threshold: int = 25) -> Trigger:
+    """Fire when retransmissions since arming exceed ``threshold``."""
+    start = PERF.requests_retransmitted
+
+    def predicate(event, history) -> bool:
+        return PERF.requests_retransmitted - start >= threshold
+
+    return Trigger(
+        name="ops:retransmission-storm",
+        action=_alerting(
+            "ops:retransmission-storm", alerts,
+            lambda: "%d retransmissions since armed (threshold %d)"
+            % (PERF.requests_retransmitted - start, threshold)),
+        predicate=predicate, once=True)
+
+
+def host_down_trigger(alerts: List[OpsAlert]) -> Trigger:
+    """Fire on the first detected sibling failure."""
+    return Trigger(
+        name="ops:host-down",
+        action=_alerting("ops:host-down", alerts,
+                         lambda: "sibling failure detected"),
+        event_type=TraceEventType.FAILURE_DETECTED, once=True)
+
+
+def install_ops_triggers(engine,
+                         alerts: Optional[List[OpsAlert]] = None,
+                         summary_fn: Optional[Callable] = None,
+                         baseline: Optional[Dict[str, float]] = None,
+                         dedup_size_fn: Optional[Callable] = None,
+                         p99_op: str = "rpc_rtt",
+                         p99_factor: float = 2.0,
+                         repair_threshold: int = 10,
+                         flap_window_ms: float = 60_000.0,
+                         flap_threshold: int = 3,
+                         dedup_threshold: int = 10_000,
+                         retransmit_threshold: int = 25
+                         ) -> List[OpsAlert]:
+    """Arm the standard operational set on a trigger engine.
+
+    Returns the shared alert log (created if not given) — hand it to
+    :func:`repro.ops.doctor.probe_world` so the doctor's
+    ``trigger-alerts`` check sees the firings.  The p99 trigger is
+    installed only when both a ``summary_fn`` and a baseline p99 for
+    ``p99_op`` are available; the dedup trigger only with a
+    ``dedup_size_fn``.
+    """
+    log = alerts if alerts is not None else []
+    if summary_fn is not None and baseline and \
+            baseline.get(p99_op) is not None:
+        engine.add(p99_regression_trigger(
+            summary_fn, baseline[p99_op], log, op=p99_op,
+            factor=p99_factor))
+    engine.add(tree_repair_storm_trigger(log,
+                                         threshold=repair_threshold))
+    engine.add(ccs_flap_trigger(log, window_ms=flap_window_ms,
+                                threshold=flap_threshold))
+    if dedup_size_fn is not None:
+        engine.add(dedup_cache_blowup_trigger(
+            dedup_size_fn, log, threshold=dedup_threshold))
+    engine.add(retransmission_storm_trigger(
+        log, threshold=retransmit_threshold))
+    engine.add(host_down_trigger(log))
+    return log

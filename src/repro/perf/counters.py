@@ -146,6 +146,18 @@ Real network backend (``repro.realnet``):
     Outbound TCP connections opened by the realnet fabric (bootstrap,
     tool, and sibling channels).
 
+Operational surface (``repro.ops``):
+
+``doctor_runs``
+    Doctor reports assembled (:func:`repro.ops.doctor.run_doctor`
+    invocations, across both backends).
+``doctor_checks_failed``
+    Individual check failures across those reports (one report with
+    three failing checks counts three).
+``ops_alerts_raised``
+    Operational-trigger firings latched onto an alert log (the
+    prebuilt ``ops:*`` triggers' default action).
+
 Span tracing (``repro.perf.spans``):
 
 ``spans_started``
@@ -196,6 +208,9 @@ _COUNTERS = (
     "real_frames_received",
     "real_partial_reads",
     "real_connects",
+    "doctor_runs",
+    "doctor_checks_failed",
+    "ops_alerts_raised",
     "spans_started",
     "spans_finished",
     "histogram_records",

@@ -29,6 +29,7 @@ from ..core.wire import message_size_bytes
 from ..errors import NoSuchProcessError, PPMError
 from ..ids import GlobalPid
 from ..localos import RealBackend
+from ..localos.procfs import ORPHAN_MARKER
 from ..unixsim.inetd import INETD_SERVICE, PPM_SERVICE
 from ..util import Deferred
 
@@ -53,8 +54,11 @@ def _argv_for(payload: dict) -> List[str]:
     duration_ms = program.get("duration_ms", program.get("run_ms"))
     run_s = _DEFAULT_SLEEP_S if duration_ms is None \
         else float(duration_ms) / 1000.0
+    # The marker comment rides the argv (visible in /proc/<pid>/cmdline)
+    # so a doctor orphan scan can recognise PPM children whose serve
+    # process died — see repro.localos.procfs.find_marked_orphans.
     return [sys.executable, "-c",
-            "import time; time.sleep(%f)" % (run_s,)]
+            "import time; time.sleep(%f)  # %s" % (run_s, ORPHAN_MARKER)]
 
 
 class RealLpm:

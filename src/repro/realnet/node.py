@@ -20,6 +20,11 @@ from ..errors import ConnectionClosedError
 from .framing import FrameDecoder, FramingError, encode_frame
 from .registry import HostRegistry
 
+#: Built-in liveness/inventory service every node answers (the probe
+#: surface ``repro doctor`` dials; see ``docs/OPERATIONS.md``).  One
+#: request frame in, one status frame out, no LPM side effects.
+STATUS_SERVICE = "__status__"
+
 
 class RealEndpoint:
     """One side of a live TCP connection (endpoint contract)."""
@@ -123,6 +128,7 @@ class RealNode:
         self.port: Optional[int] = None
         #: every endpoint accepted by this node, for shutdown cleanup.
         self._accepted: List[RealEndpoint] = []
+        self.listen(STATUS_SERVICE, self._on_status)
 
     # -- service registry (NetworkNode.listen/unlisten equivalent) -------
 
@@ -131,6 +137,15 @@ class RealNode:
 
     def unlisten(self, service: str) -> None:
         self.services.pop(service, None)
+
+    def _on_status(self, endpoint, payload) -> None:
+        """Answer a doctor probe: one frame of node inventory.  The
+        service list names every live LPM's accept service, so the
+        probe learns which users have LPMs here without bootstrapping
+        one itself."""
+        endpoint.send({"ok": True, "host": self.host_name,
+                       "port": self.port,
+                       "services": sorted(self.services)})
 
     # -- lifecycle -------------------------------------------------------
 

@@ -95,6 +95,21 @@ class HostRegistry:
     def withdraw(self, host: str) -> None:
         self._locked_update(lambda entries: entries.pop(host, None))
 
+    def prune(self, hosts: List[str]) -> List[str]:
+        """Withdraw several entries in one locked update; returns the
+        names actually removed.  The fast-recovery playbook uses this
+        to clear entries ``repro doctor`` flagged as stale (published
+        by a serve process that died without withdrawing)."""
+        removed: List[str] = []
+
+        def mutate(entries: Dict) -> None:
+            for host in hosts:
+                if entries.pop(host, None) is not None:
+                    removed.append(host)
+
+        self._locked_update(mutate)
+        return removed
+
     def remove_files(self) -> None:
         """Delete the registry and its lock file (end of a fleet)."""
         for path in (self.path, self.path + ".lock"):

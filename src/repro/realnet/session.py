@@ -139,6 +139,71 @@ def launch_hosts(hosts: Sequence[str],
         time.sleep(0.05)
 
 
+def probe_fleet(registry_path: str,
+                expected_hosts: Optional[Sequence[str]] = None,
+                timeout_ms: float = 3000.0) -> dict:
+    """Probe a live fleet for ``repro doctor`` — no LPM side effects.
+
+    Dials every expected host's ``__status__`` service through the
+    same :class:`AsyncioFabric` the protocol stack uses, and scans
+    ``/proc`` for marked orphans (PPM children whose serve process
+    died).  Returns raw findings::
+
+        {"registry": {host: (addr, port)},
+         "statuses": {host: {"ok": True, "services": [...], ...}
+                            | {"error": reason}},
+         "orphans":  [{"pid": ..., "command": ...}, ...]}
+
+    ``expected_hosts`` defaults to whatever the registry lists; pass
+    the full fleet roster to also catch hosts that never published.
+    The backend-neutral reshaping lives in
+    :func:`repro.ops.doctor.probe_fleet`.
+    """
+    from ..localos.procfs import find_marked_orphans
+    from .node import STATUS_SERVICE
+
+    registry = HostRegistry(registry_path)
+    entries = registry.read()
+    hosts = sorted(set(expected_hosts) | set(entries)) \
+        if expected_hosts else sorted(entries)
+    statuses = {}
+    fabric = AsyncioFabric(registry, local_host="doctor")
+    try:
+        for host in hosts:
+            if host not in entries:
+                statuses[host] = {"error": "not in registry"}
+                continue
+            result: dict = {}
+            done: list = []
+
+            def established(endpoint, result=result, done=done):
+                def on_message(frame, ep):
+                    if isinstance(frame, dict):
+                        result.update(frame)
+                    done.append(True)
+                    ep.close()
+                endpoint.on_message = on_message
+
+            def failed(reason, result=result, done=done):
+                result["error"] = reason
+                done.append(True)
+
+            fabric.connect("doctor", host, STATUS_SERVICE,
+                           on_established=established,
+                           on_failed=failed)
+            fabric.run_until_true(lambda: bool(done),
+                                  timeout_ms=timeout_ms)
+            if not done:
+                result = {"error": "status probe timed out"}
+            elif "error" not in result and not result.get("ok"):
+                result = {"error": "malformed status reply"}
+            statuses[host] = result
+    finally:
+        fabric.close()
+    return {"registry": entries, "statuses": statuses,
+            "orphans": find_marked_orphans()}
+
+
 def _src_pythonpath() -> str:
     """A PYTHONPATH that lets ``-m repro`` import in the children even
     when the parent runs from a source checkout."""

@@ -70,6 +70,8 @@ class TriggerEngine:
                  history: Optional[HistoryStore] = None) -> None:
         self.recorder = recorder
         self.history = history if history is not None else HistoryStore()
+        #: Whether the engine created (and must detach) its history.
+        self._owns_history = history is None
         if history is None:
             self.history.follow(recorder, include_existing=True)
         self.triggers: List[Trigger] = []
@@ -92,7 +94,14 @@ class TriggerEngine:
             return  # actions that record events must not recurse
         self._evaluating = True
         try:
+            # Iterate over a snapshot so actions may add/remove triggers
+            # (the natural "fire once then remove yourself" ops pattern)
+            # without corrupting the walk — but honour removals made by
+            # an earlier action during this same event: a trigger struck
+            # off the live list must not fire from the stale snapshot.
             for trigger in list(self.triggers):
+                if trigger not in self.triggers:
+                    continue
                 if trigger.should_fire(event, self.history):
                     self.firings.append(TriggerFiring(
                         trigger_name=trigger.name, event=event,
@@ -106,4 +115,11 @@ class TriggerEngine:
             self._evaluating = False
 
     def close(self) -> None:
+        """Detach from the recorder.  Also unfollows the history store
+        when the engine created it — otherwise the store's ``add`` stays
+        subscribed forever and keeps accumulating events after the
+        engine is gone (a leak the relogin path used to hit).
+        Idempotent."""
         self.recorder.unsubscribe(self._on_event)
+        if self._owns_history:
+            self.history.unfollow()

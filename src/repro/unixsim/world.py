@@ -120,5 +120,16 @@ class World:
                        timeout_ms: float = 600_000.0) -> bool:
         return self.sim.run_until_true(predicate, timeout_ms=timeout_ms)
 
+    def doctor(self, alerts=None, engines=(), baseline=None):
+        """Health-check this world: probe it and run every ops check.
+
+        Read-only and opt-in (no messages, no RNG use, no events
+        scheduled) — see :mod:`repro.ops`.  Returns a
+        :class:`~repro.ops.checks.DoctorReport`.
+        """
+        from ..ops.doctor import probe_world, run_doctor
+        view = probe_world(self, alerts=alerts, engines=engines)
+        return run_doctor(view, baseline=baseline)
+
     def __repr__(self) -> str:
         return "World(%d hosts, t=%.1f ms)" % (len(self.hosts), self.now_ms)

@@ -1,0 +1,252 @@
+"""Unit tests for the backend-neutral check library.
+
+Every check gets a healthy view and at least one broken view; the
+exit-code contract (distinct codes, first-failing-in-triage-order
+names the exit) is pinned here because CI scripts match on it.
+"""
+
+from repro.ops import (
+    CHECK_ORDER,
+    EXIT_CODES,
+    DoctorConfig,
+    HostHealth,
+    LpmHealth,
+    OpsAlert,
+    OrphanRecord,
+    WorldView,
+    run_checks,
+)
+
+
+def healthy_view(**overrides) -> WorldView:
+    """A two-host netsim view that passes every check."""
+    fields = dict(
+        backend="netsim",
+        expected_hosts=("alpha", "beta"),
+        hosts={"alpha": HostHealth("alpha", up=True, daemon=True),
+               "beta": HostHealth("beta", up=True, daemon=True)},
+        lpms=[LpmHealth("alpha", "lfc", alive=True, siblings=("beta",)),
+              LpmHealth("beta", "lfc", alive=True, siblings=("alpha",))],
+    )
+    fields.update(overrides)
+    return WorldView(**fields)
+
+
+def result_for(report, name):
+    return next(r for r in report.results if r.name == name)
+
+
+class TestContract:
+    def test_healthy_view_exits_zero(self):
+        report = run_checks(healthy_view())
+        assert report.ok
+        assert report.exit_code == 0
+        assert [r.name for r in report.results] == list(CHECK_ORDER)
+
+    def test_exit_codes_distinct_and_nonzero(self):
+        codes = list(EXIT_CODES.values())
+        assert len(set(codes)) == len(codes)
+        assert all(code != 0 for code in codes)
+
+    def test_first_failing_check_names_the_exit(self):
+        # Break both the daemon layer and the trigger layer: the exit
+        # code must belong to the earlier (higher-priority) check.
+        view = healthy_view(
+            hosts={"alpha": HostHealth("alpha", up=False, daemon=False),
+                   "beta": HostHealth("beta", up=True, daemon=True)},
+            alerts=[OpsAlert("ops:host-down", "x", 1.0)])
+        report = run_checks(view)
+        assert not report.ok
+        assert report.failing[0].name == "daemon-liveness"
+        assert report.exit_code == EXIT_CODES["daemon-liveness"]
+
+    def test_render_and_to_dict(self):
+        report = run_checks(healthy_view())
+        text = report.render()
+        assert "doctor: healthy (exit 0)" in text
+        for name in CHECK_ORDER:
+            assert name in text
+        as_dict = report.to_dict()
+        assert as_dict["ok"] is True
+        assert [c["name"] for c in as_dict["checks"]] == list(CHECK_ORDER)
+
+
+class TestDaemonLiveness:
+    def test_down_host(self):
+        view = healthy_view(hosts={
+            "alpha": HostHealth("alpha", up=True, daemon=True),
+            "beta": HostHealth("beta", up=False, daemon=False)})
+        report = run_checks(view)
+        result = result_for(report, "daemon-liveness")
+        assert not result.ok and "beta" in result.detail
+        assert report.exit_code == 10
+
+    def test_dead_daemon_on_up_host(self):
+        view = healthy_view(hosts={
+            "alpha": HostHealth("alpha", up=True, daemon=True),
+            "beta": HostHealth("beta", up=True, daemon=False)})
+        result = result_for(run_checks(view), "daemon-liveness")
+        assert not result.ok and "daemon dead" in result.detail
+
+    def test_expected_host_never_probed(self):
+        view = healthy_view(expected_hosts=("alpha", "beta", "gamma"))
+        result = result_for(run_checks(view), "daemon-liveness")
+        assert not result.ok and "gamma" in result.detail
+
+
+class TestLpmLiveness:
+    def test_dead_lpm(self):
+        view = healthy_view(lpms=[
+            LpmHealth("alpha", "lfc", alive=True),
+            LpmHealth("beta", "lfc", alive=False)])
+        report = run_checks(view)
+        result = result_for(report, "lpm-liveness")
+        assert not result.ok and "lfc@beta" in result.detail
+        assert report.exit_code == 11
+
+    def test_idle_world_is_healthy(self):
+        result = result_for(run_checks(healthy_view(lpms=[])),
+                            "lpm-liveness")
+        assert result.ok and "idle" in result.detail
+
+
+class TestOrphans:
+    def test_orphan_fails(self):
+        view = healthy_view(orphans=[
+            OrphanRecord("alpha", "lfc", pid=42, command="solver")])
+        report = run_checks(view)
+        result = result_for(report, "orphan-processes")
+        assert not result.ok and "solver" in result.detail
+        assert report.exit_code == 12
+
+
+class TestOverlayDegree:
+    def test_not_applicable_without_sparse_policy(self):
+        result = result_for(run_checks(healthy_view()), "overlay-degree")
+        assert result.ok and "not applicable" in result.detail
+
+    def test_degree_over_bound_fails(self):
+        peers = tuple("h%d" % i for i in range(9))
+        view = healthy_view(
+            sparse_degree=2, topology_policy="sparse",
+            lpms=[LpmHealth("alpha", "lfc", alive=True, siblings=peers),
+                  LpmHealth("beta", "lfc", alive=True,
+                            siblings=("alpha",))])
+        report = run_checks(view)
+        result = result_for(report, "overlay-degree")
+        assert not result.ok and "lfc@alpha=9" in result.detail
+        assert report.exit_code == 13
+
+    def test_degree_within_slack_passes(self):
+        view = healthy_view(sparse_degree=2, topology_policy="sparse")
+        assert result_for(run_checks(view), "overlay-degree").ok
+
+
+class TestBroadcastCoverage:
+    def test_partitioned_overlay_fails(self):
+        view = healthy_view(
+            sparse_degree=2, topology_policy="sparse",
+            lpms=[LpmHealth("alpha", "lfc", alive=True, siblings=()),
+                  LpmHealth("beta", "lfc", alive=True, siblings=())])
+        report = run_checks(view)
+        result = result_for(report, "broadcast-coverage")
+        assert not result.ok and "partitioned" in result.detail
+        assert report.exit_code == 14
+
+    def test_edges_count_in_either_direction(self):
+        # beta lists alpha but not vice versa: still connected.
+        view = healthy_view(
+            sparse_degree=2, topology_policy="sparse",
+            lpms=[LpmHealth("alpha", "lfc", alive=True, siblings=()),
+                  LpmHealth("beta", "lfc", alive=True,
+                            siblings=("alpha",))])
+        assert result_for(run_checks(view), "broadcast-coverage").ok
+
+    def test_dead_lpms_do_not_partition(self):
+        view = healthy_view(
+            sparse_degree=2, topology_policy="sparse",
+            lpms=[LpmHealth("alpha", "lfc", alive=True,
+                            siblings=("beta",)),
+                  LpmHealth("beta", "lfc", alive=True,
+                            siblings=("alpha",)),
+                  LpmHealth("gamma", "lfc", alive=False, siblings=())])
+        assert result_for(run_checks(view), "broadcast-coverage").ok
+
+
+class TestRpcAnomalies:
+    def test_retransmission_storm_fails(self):
+        view = healthy_view(counters={"requests_retransmitted": 100})
+        report = run_checks(view)
+        result = result_for(report, "rpc-anomalies")
+        assert not result.ok and "100 retransmissions" in result.detail
+        assert report.exit_code == 15
+
+    def test_pending_request_pileup_fails(self):
+        view = healthy_view(lpms=[
+            LpmHealth("alpha", "lfc", alive=True, pending_requests=65)])
+        result = result_for(run_checks(view), "rpc-anomalies")
+        assert not result.ok and "pending" in result.detail
+
+    def test_thresholds_come_from_config(self):
+        view = healthy_view(counters={"requests_retransmitted": 3})
+        config = DoctorConfig(max_retransmits=2)
+        result = result_for(run_checks(view, config=config),
+                            "rpc-anomalies")
+        assert not result.ok
+
+
+class TestLatencySlo:
+    def test_skipped_without_baseline(self):
+        result = result_for(run_checks(healthy_view()), "latency-slo")
+        assert result.ok and "skipped" in result.detail
+
+    def test_regression_fails(self):
+        view = healthy_view(latency={
+            "rpc_rtt": {"count": 20, "p99_ms": 500.0}})
+        report = run_checks(view, baseline={"rpc_rtt": 100.0})
+        result = result_for(report, "latency-slo")
+        assert not result.ok and "rpc_rtt" in result.detail
+        assert report.exit_code == 16
+
+    def test_thin_histograms_not_judged(self):
+        view = healthy_view(latency={
+            "rpc_rtt": {"count": 2, "p99_ms": 500.0}})
+        result = result_for(run_checks(view, baseline={"rpc_rtt": 100.0}),
+                            "latency-slo")
+        assert result.ok
+
+    def test_within_budget_passes(self):
+        view = healthy_view(latency={
+            "rpc_rtt": {"count": 20, "p99_ms": 150.0}})
+        result = result_for(run_checks(view, baseline={"rpc_rtt": 100.0}),
+                            "latency-slo")
+        assert result.ok
+
+
+class TestRegistryStaleness:
+    def test_netsim_has_no_registry(self):
+        result = result_for(run_checks(healthy_view()),
+                            "registry-staleness")
+        assert result.ok and "netsim" in result.detail
+
+    def test_stale_entry_fails(self):
+        view = healthy_view(
+            backend="realnet",
+            registry_entries={"alpha": ("127.0.0.1", 1), "beta":
+                              ("127.0.0.1", 2)},
+            stale_entries=["beta"])
+        report = run_checks(view)
+        result = result_for(report, "registry-staleness")
+        assert not result.ok and "beta" in result.detail
+        assert report.exit_code == 17
+
+
+class TestTriggerAlerts:
+    def test_alert_fails(self):
+        view = healthy_view(alerts=[
+            OpsAlert("ops:tree-repair-storm", "11 repairs", 5.0)])
+        report = run_checks(view)
+        result = result_for(report, "trigger-alerts")
+        assert not result.ok
+        assert "ops:tree-repair-storm" in result.detail
+        assert report.exit_code == 18

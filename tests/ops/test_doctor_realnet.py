@@ -1,0 +1,102 @@
+"""Doctor runs against a live ``repro serve`` fleet, and the
+conformance-style assertion: both backends return the *same* verdict
+(named failing check and exit code) for the same failure class."""
+
+import signal
+import socket
+import sys
+
+import pytest
+
+from repro import HostClass, PersonalProcessManager, World, install
+from repro.ops import EXIT_CODES, probe_fleet, run_doctor
+from repro.perf import PERF
+
+HOSTS = ["alpha", "beta", "gamma"]
+
+
+def _real_backend_available() -> bool:
+    if sys.platform.startswith("win"):
+        return False
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+    except OSError:
+        return False
+    return True
+
+
+needs_real = pytest.mark.skipif(
+    not _real_backend_available(),
+    reason="loopback sockets unavailable; realnet cases skipped")
+
+
+def launch():
+    from repro.realnet.session import launch_hosts
+    return launch_hosts(HOSTS, budget_s=120.0)
+
+
+def doctor_netsim_with_crashed_host():
+    """The netsim side of the cross-backend comparison."""
+    world = World(seed=11)
+    for name, host_class in zip(HOSTS, (HostClass.VAX_780,
+                                        HostClass.VAX_750,
+                                        HostClass.SUN_2)):
+        world.add_host(name, host_class)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    PersonalProcessManager(world, "lfc", HOSTS[0],
+                           recovery_hosts=HOSTS[:2]).start()
+    world.run_for(1_000.0)
+    world.host(HOSTS[-1]).crash()
+    return world.doctor()
+
+
+@needs_real
+class TestRealnetDoctor:
+    def test_healthy_fleet_exits_zero(self):
+        PERF.reset()
+        with launch() as fleet:
+            view = probe_fleet(fleet.registry_path,
+                               expected_hosts=HOSTS)
+            report = run_doctor(view)
+        assert report.ok, report.render()
+        assert report.exit_code == 0
+        assert view.backend == "realnet"
+        assert sorted(view.hosts) == sorted(HOSTS)
+
+    def test_sigkilled_serve_matches_netsim_verdict(self):
+        PERF.reset()
+        with launch() as fleet:
+            victim = fleet.processes[HOSTS.index("gamma")]
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            view = probe_fleet(fleet.registry_path,
+                               expected_hosts=HOSTS)
+            real_report = run_doctor(view)
+        assert not real_report.ok
+        # The kill leaves both a dead daemon and a stale registry entry.
+        failing = [r.name for r in real_report.failing]
+        assert failing[0] == "daemon-liveness"
+        assert "registry-staleness" in failing
+        assert "gamma" in real_report.failing[0].detail
+        assert real_report.exit_code == EXIT_CODES["daemon-liveness"]
+
+        # Conformance: the netsim world with the same host crashed
+        # reaches the identical verdict — same named check, same exit.
+        sim_report = doctor_netsim_with_crashed_host()
+        assert sim_report.failing[0].name == \
+            real_report.failing[0].name == "daemon-liveness"
+        assert sim_report.exit_code == real_report.exit_code == 10
+
+    def test_unpublished_expected_host_is_flagged(self):
+        PERF.reset()
+        with launch() as fleet:
+            view = probe_fleet(fleet.registry_path,
+                               expected_hosts=HOSTS + ["delta"])
+            report = run_doctor(view)
+        assert not report.ok
+        assert report.failing[0].name == "daemon-liveness"
+        assert "delta" in report.failing[0].detail

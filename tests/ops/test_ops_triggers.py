@@ -1,0 +1,142 @@
+"""Deterministic firing tests for the prebuilt operational triggers."""
+
+import pytest
+
+from repro.ops import install_ops_triggers, run_checks
+from repro.ops.checks import HostHealth, WorldView
+from repro.perf import PERF
+from repro.tracing import TraceEventType, TraceRecorder, TriggerEngine
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_engine():
+    clock = Clock()
+    recorder = TraceRecorder(clock)
+    engine = TriggerEngine(recorder)
+    return clock, recorder, engine
+
+
+@pytest.fixture(autouse=True)
+def clean_counters():
+    PERF.reset()
+    yield
+    PERF.reset()
+
+
+def fired(alerts):
+    return sorted(alert.name for alert in alerts)
+
+
+class TestStandardSet:
+    def test_install_arms_at_least_four(self):
+        clock, recorder, engine = make_engine()
+        install_ops_triggers(engine)
+        assert len(engine.triggers) >= 4
+        assert all(t.name.startswith("ops:") for t in engine.triggers)
+
+    def test_host_down_fires_on_failure_detected(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine)
+        recorder.record(TraceEventType.FAILURE_DETECTED, host="alpha")
+        assert "ops:host-down" in fired(alerts)
+        assert PERF.ops_alerts_raised == 1
+
+    def test_tree_repair_storm_fires_past_threshold(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine, repair_threshold=10)
+        PERF.tree_repairs += 9
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:tree-repair-storm" not in fired(alerts)
+        PERF.tree_repairs += 2
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:tree-repair-storm" in fired(alerts)
+
+    def test_ccs_flap_fires_on_oscillation_in_window(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine, flap_window_ms=10_000.0,
+                                      flap_threshold=3)
+        recorder.record(TraceEventType.CCS_ASSUMED, host="alpha")
+        clock.now = 1_000.0
+        recorder.record(TraceEventType.CCS_RELINQUISHED, host="alpha")
+        assert "ops:ccs-flap" not in fired(alerts)
+        clock.now = 2_000.0
+        recorder.record(TraceEventType.CCS_ASSUMED, host="beta")
+        assert "ops:ccs-flap" in fired(alerts)
+
+    def test_ccs_flap_ignores_changes_outside_window(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine, flap_window_ms=1_000.0,
+                                      flap_threshold=3)
+        for step in range(4):
+            clock.now = step * 5_000.0
+            recorder.record(TraceEventType.CCS_ASSUMED, host="alpha")
+        assert "ops:ccs-flap" not in fired(alerts)
+
+    def test_retransmission_storm_counts_delta_since_armed(self):
+        PERF.requests_retransmitted = 1_000
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine, retransmit_threshold=25)
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:retransmission-storm" not in fired(alerts), \
+            "pre-existing count must not fire a fresh trigger"
+        PERF.requests_retransmitted += 25
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:retransmission-storm" in fired(alerts)
+
+    def test_dedup_blowup_fires_from_size_fn(self):
+        clock, recorder, engine = make_engine()
+        size = {"n": 0}
+        alerts = install_ops_triggers(engine, dedup_size_fn=lambda: size["n"],
+                                      dedup_threshold=100)
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:dedup-cache-blowup" not in fired(alerts)
+        size["n"] = 101
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:dedup-cache-blowup" in fired(alerts)
+
+    def test_p99_regression_needs_baseline_and_samples(self):
+        clock, recorder, engine = make_engine()
+        summary = {"rpc_rtt": {"count": 0, "p99_ms": None}}
+        alerts = install_ops_triggers(engine, summary_fn=lambda: summary,
+                                      baseline={"rpc_rtt": 100.0})
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:p99-regression" not in fired(alerts)
+        summary["rpc_rtt"] = {"count": 20, "p99_ms": 500.0}
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:p99-regression" in fired(alerts)
+        assert "500.0ms" in alerts[0].detail
+
+    def test_p99_trigger_not_installed_without_baseline(self):
+        clock, recorder, engine = make_engine()
+        install_ops_triggers(engine, summary_fn=lambda: {})
+        names = [t.name for t in engine.triggers]
+        assert "ops:p99-regression" not in names
+
+
+class TestLatching:
+    def test_alerts_latch_once(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine)
+        for _ in range(3):
+            recorder.record(TraceEventType.FAILURE_DETECTED, host="a")
+        assert fired(alerts).count("ops:host-down") == 1
+        assert PERF.ops_alerts_raised == 1
+
+    def test_alerts_fail_the_doctor_check(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine)
+        recorder.record(TraceEventType.FAILURE_DETECTED, host="alpha")
+        view = WorldView(
+            backend="netsim", expected_hosts=("alpha",),
+            hosts={"alpha": HostHealth("alpha", up=True, daemon=True)},
+            alerts=list(alerts))
+        report = run_checks(view)
+        assert [r.name for r in report.failing] == ["trigger-alerts"]
+        assert "ops:host-down" in report.failing[0].detail

@@ -101,3 +101,45 @@ def test_module_entry_point():
         capture_output=True, text=True, timeout=60)
     assert result.returncode == 0
     assert "repro" in result.stdout
+
+
+def test_stats_prints_operational_alerts_section(capsys):
+    assert main(["stats", "--seed", "4"]) == 0
+    assert "operational alerts" in capsys.readouterr().out
+
+
+def test_doctor_healthy_netsim_exits_zero(capsys):
+    assert main(["doctor", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "doctor: healthy (exit 0)" in out
+    assert "daemon-liveness" in out
+
+
+def test_doctor_injected_dead_host_exits_ten(capsys):
+    code = main(["doctor", "--seed", "2", "--inject", "dead-host"])
+    assert code == 10
+    out = capsys.readouterr().out
+    assert "first failing check 'daemon-liveness' (exit 10)" in out
+    # The injected crash also latches the host-down ops trigger.
+    assert "ops:host-down" in out
+
+
+def test_doctor_json_report(capsys):
+    import json
+
+    assert main(["doctor", "--seed", "2", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    assert report["backend"] == "netsim"
+    names = [check["name"] for check in report["checks"]]
+    assert "daemon-liveness" in names and "trigger-alerts" in names
+
+
+def test_doctor_baseline_roundtrip(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["doctor", "--seed", "2",
+                 "--write-baseline", str(baseline)]) == 0
+    assert "wrote baseline" in capsys.readouterr().out
+    assert main(["doctor", "--seed", "2",
+                 "--baseline", str(baseline)]) == 0
+    assert "p99 within" in capsys.readouterr().out

@@ -11,7 +11,8 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
 
 SIM_EXAMPLES = ["quickstart.py", "distributed_build.py",
                 "crash_recovery.py", "session_persistence.py",
-                "resilient_service.py", "ipc_pipeline.py"]
+                "resilient_service.py", "ipc_pipeline.py",
+                "doctor_demo.py"]
 
 
 def run_example(name, timeout=180):
@@ -52,3 +53,11 @@ def test_real_processes_example_runs():
     assert "across a machine boundary" in result.stdout
     assert "cross-host genealogical snapshot" in result.stdout
     assert "fleet torn down" in result.stdout
+
+
+def test_doctor_demo_output_shape():
+    result = run_example("doctor_demo.py")
+    assert "doctor: healthy (exit 0)" in result.stdout
+    assert "first failing check 'daemon-liveness' (exit 10)" in result.stdout
+    assert "ops:host-down" in result.stdout
+    assert "orphan-processes    FAIL" in result.stdout

@@ -164,3 +164,58 @@ class TestTriggers:
         engine.close()
         recorder.record(TraceEventType.EXIT, host="a")
         assert fired == []
+
+    def test_action_removing_later_trigger_suppresses_its_firing(self):
+        # Regression: the engine iterates a snapshot of the trigger
+        # list; a trigger struck off by an earlier action during the
+        # same event must not fire from the stale snapshot.
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        fired = []
+        victim = Trigger(name="victim", action=fired.append)
+
+        def assassin_action(event):
+            engine.remove(victim)
+
+        engine.add(Trigger(name="assassin", action=assassin_action))
+        engine.add(victim)
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert fired == []
+        assert victim not in engine.triggers
+
+    def test_action_may_add_triggers_mid_event(self):
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        late_fired = []
+        late = Trigger(name="late", action=late_fired.append)
+        engine.add(Trigger(name="adder", once=True,
+                           action=lambda event: engine.add(late)))
+        recorder.record(TraceEventType.EXIT, host="a")
+        # Added mid-event: armed for the next event, not this one.
+        assert late_fired == []
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert len(late_fired) == 1
+
+    def test_close_unfollows_owned_history(self):
+        # Regression: close() used to leave the engine-created history
+        # store subscribed to the recorder forever.
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        engine.close()
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert len(engine.history) == 0
+
+    def test_close_keeps_caller_owned_history_attached(self):
+        clock, recorder = make()
+        history = HistoryStore()
+        history.follow(recorder)
+        engine = TriggerEngine(recorder, history=history)
+        engine.close()
+        recorder.record(TraceEventType.EXIT, host="a")
+        assert len(history) == 1
+
+    def test_close_is_idempotent(self):
+        clock, recorder = make()
+        engine = TriggerEngine(recorder)
+        engine.close()
+        engine.close()

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Documentation lint: intra-repo links and package coverage.
+"""Documentation lint: links, package coverage, CLI coverage.
 
-Two checks keep the docs from rotting as the codebase grows:
+Three checks keep the docs from rotting as the codebase grows:
 
 1. **Link validity** — every relative markdown link in every tracked
    ``*.md`` file must point at a file (or directory) that exists.
@@ -13,6 +13,12 @@ Two checks keep the docs from rotting as the codebase grows:
    mentioned (as ``repro.<name>``) in ``DESIGN.md`` or somewhere under
    ``docs/``, so no subsystem exists without a paragraph of
    architecture documentation.
+
+3. **CLI coverage** — every subcommand registered in
+   ``src/repro/cli.py`` (each ``add_parser("<name>")`` call) must be
+   mentioned as ``repro <name>`` somewhere under ``docs/``, so no
+   operator entry point ships undocumented (the CLI-surface table in
+   ``docs/OPERATIONS.md`` is the natural home).
 
 Run from the repo root::
 
@@ -105,14 +111,44 @@ def check_package_coverage() -> List[str]:
     return errors
 
 
+_ADD_PARSER = re.compile(r"add_parser\(\s*[\"']([^\"']+)[\"']")
+
+
+def check_cli_coverage() -> List[str]:
+    cli = os.path.join(REPO_ROOT, "src", "repro", "cli.py")
+    if not os.path.exists(cli):
+        return []
+    with open(cli, "r", encoding="utf-8") as handle:
+        subcommands = sorted(set(_ADD_PARSER.findall(handle.read())))
+
+    text = ""
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                with open(os.path.join(docs, name), "r",
+                          encoding="utf-8") as handle:
+                    text += handle.read()
+
+    errors: List[str] = []
+    for subcommand in subcommands:
+        if "repro %s" % subcommand not in text:
+            errors.append(
+                "CLI subcommand %r is not documented as 'repro %s' "
+                "anywhere under docs/" % (subcommand, subcommand))
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + check_package_coverage()
+    errors = check_links() + check_package_coverage() + \
+        check_cli_coverage()
     for error in errors:
         print("docs: %s" % error)
     if errors:
         return 1
     print("docs: ok (%d markdown files, all links valid, all packages "
-          "documented)" % sum(1 for _ in markdown_files()))
+          "and CLI subcommands documented)"
+          % sum(1 for _ in markdown_files()))
     return 0
 
 

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""CI smoke drill for ``repro doctor`` against a live serve fleet.
+
+The whole operational loop, end to end, on real sockets:
+
+1. launch three ``repro serve`` OS processes sharing one registry;
+2. ``repro doctor`` must report **healthy** (exit 0);
+3. create a real process through a session (so an LPM exists);
+4. SIGKILL one serve process — the incident;
+5. ``repro doctor`` must now exit **10** naming ``daemon-liveness``
+   (the same verdict the netsim backend gives a crashed host), and
+   flag the corpse's registry entry as stale.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/doctor_real_smoke.py
+
+Exit status 0 when every step behaves, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.cli import main as repro_main  # noqa: E402
+from repro.ops import EXIT_CODES, probe_fleet, run_doctor  # noqa: E402
+from repro.realnet.session import RealSession, launch_hosts  # noqa: E402
+
+HOSTS = ["alpha", "beta", "gamma"]
+VICTIM = "gamma"
+
+
+def fail(message: str) -> int:
+    print("doctor-smoke: FAIL — %s" % message)
+    return 1
+
+
+def reap_marked_orphans(stage: str) -> None:
+    """Kill marked PPM orphans so one drill's leftovers (or an earlier
+    crashed run's) cannot fail the next drill's healthy sweep."""
+    from repro.localos.procfs import find_marked_orphans
+    for orphan in find_marked_orphans():
+        try:
+            os.kill(orphan["pid"], signal.SIGKILL)
+            print("doctor-smoke: reaped %s orphan pid %d"
+                  % (stage, orphan["pid"]))
+        except OSError:
+            pass
+
+
+def run() -> int:
+    reap_marked_orphans("leftover")
+    print("doctor-smoke: launching %d serve processes ..." % len(HOSTS))
+    with launch_hosts(HOSTS, budget_s=120.0) as fleet:
+        code = repro_main(["doctor", "--registry", fleet.registry_path,
+                           "--hosts"] + HOSTS)
+        if code != 0:
+            return fail("healthy fleet should exit 0, got %d" % code)
+        print("doctor-smoke: healthy fleet verdict ok (exit 0)")
+
+        with RealSession(fleet.registry_path, user="smoke",
+                         host_name=HOSTS[0]) as session:
+            client = session.client.connect()
+            created = client.create_process("drill", host=VICTIM)
+            print("doctor-smoke: created %s (real pid %d)"
+                  % (created, created.pid))
+
+            victim = fleet.processes[HOSTS.index(VICTIM)]
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            time.sleep(0.2)
+            print("doctor-smoke: SIGKILLed serve %r" % VICTIM)
+
+            code = repro_main(["doctor", "--registry",
+                               fleet.registry_path, "--hosts"] + HOSTS)
+            if code != EXIT_CODES["daemon-liveness"]:
+                return fail("killed fleet should exit %d "
+                            "(daemon-liveness), got %d"
+                            % (EXIT_CODES["daemon-liveness"], code))
+
+            view = probe_fleet(fleet.registry_path, expected_hosts=HOSTS)
+            report = run_doctor(view)
+            failing = [result.name for result in report.failing]
+            if failing[0] != "daemon-liveness":
+                return fail("first failing check should be "
+                            "daemon-liveness, got %r" % failing)
+            if "registry-staleness" not in failing:
+                return fail("stale registry entry for %r not flagged "
+                            "(failing: %r)" % (VICTIM, failing))
+            print("doctor-smoke: incident verdict ok "
+                  "(exit %d, failing: %s)" % (report.exit_code,
+                                              ", ".join(failing)))
+
+    reap_marked_orphans("drill")
+    print("doctor-smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())
