@@ -21,6 +21,11 @@ Subcommands:
 * ``doctor`` — health-check a deployment and exit non-zero when it is
   sick: the netsim demo world by default, or a live serve fleet with
   ``--registry`` (see ``docs/OPERATIONS.md``).
+* ``watch`` — the doctor, continuously: sweep the deployment on an
+  interval, print and journal onset/clear edges between sweeps, and
+  exit with the first still-open incident's code (both backends).
+* ``incidents`` — render a watch journal back into a timeline plus
+  per-check MTTR.
 * ``version`` — print the package version.
 """
 
@@ -311,6 +316,104 @@ def cmd_doctor(args) -> int:
     return report.exit_code
 
 
+def _dead_host_drill(world, crash_at: int = 2, reboot_at: int = 5,
+                     host: str = "ucbernie"):
+    """Break and repair the demo world mid-watch (the CI self-test):
+    crash a host after ``crash_at`` sweeps so the next sweep sees the
+    onset, reboot it after ``reboot_at`` so a later sweep sees the
+    clear."""
+    def act(watcher) -> None:
+        if watcher.sweeps == crash_at:
+            world.host(host).crash()
+            print("drill: crashed %s" % host)
+        elif watcher.sweeps == reboot_at:
+            world.host(host).reboot()
+            print("drill: rebooted %s" % host)
+    return act
+
+
+def cmd_watch(args) -> int:
+    """Run the continuous watch loop (docs/OPERATIONS.md, "Continuous
+    watch"): netsim demo world by default, live fleet with
+    --registry.  Exits 0 when every watched check is healthy at the
+    end, else with the first open incident's triage code."""
+    from .ops import (EXIT_CODES, IncidentJournal, load_baseline,
+                      watch_fleet, watch_world)
+    from .perf import MetricsSampler
+
+    journal = IncidentJournal(args.journal)
+    sampler = MetricsSampler()
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    checks = args.checks or None
+
+    def narrate(watcher, report, edges) -> None:
+        for edge in edges:
+            tail = "-> %s" % edge.runbook if edge.edge == "onset" \
+                else "recovered in %.1f ms" % edge.duration_ms
+            print("[%10.1f ms] %-5s %s (%s) exit %d %s"
+                  % (edge.t_ms, edge.edge.upper(), edge.check,
+                     ",".join(edge.entities) or "-", edge.exit_code,
+                     tail))
+
+    if args.registry:
+        print("watching realnet fleet via %s: every %.0f ms, "
+              "%d sweeps" % (args.registry, args.interval_ms,
+                             args.max_sweeps))
+        watcher = watch_fleet(
+            args.registry, interval_ms=args.interval_ms,
+            max_sweeps=args.max_sweeps,
+            expected_hosts=args.hosts or None,
+            timeout_ms=args.timeout_ms, journal=journal,
+            checks=checks, sampler=sampler, baseline=baseline,
+            on_sweep=narrate)
+    else:
+        world, ppm, alerts = _run_traced_session(args.seed,
+                                                 baseline=baseline)
+        drill = _dead_host_drill(world) \
+            if args.inject == "dead-host" else None
+        print("watching netsim demo world (seed %d): every %.0f "
+              "virtual ms, %d sweeps" % (args.seed, args.interval_ms,
+                                         args.max_sweeps))
+
+        def on_sweep(watcher, report, edges) -> None:
+            narrate(watcher, report, edges)
+            if drill is not None:
+                drill(watcher)
+
+        watcher = watch_world(
+            world, interval_ms=args.interval_ms,
+            max_sweeps=args.max_sweeps, journal=journal,
+            checks=checks, sampler=sampler, alerts=alerts,
+            baseline=baseline, on_sweep=on_sweep)
+
+    open_incidents = watcher.open_incidents()
+    print("watch complete: %d sweeps, %d edges, %d open incident(s)"
+          % (watcher.sweeps, len(watcher.edges), len(open_incidents)))
+    if args.journal:
+        print("journal: %s (%d records)"
+              % (args.journal, len(journal.records)))
+    for check in watcher.check_roster():
+        if check in open_incidents:
+            return EXIT_CODES[check]
+    return 0
+
+
+def cmd_incidents(args) -> int:
+    """Render a watch journal: incident timeline plus MTTR per check."""
+    import json
+
+    from .ops import mttr_by_check, read_journal, render_incidents
+
+    records = read_journal(args.journal)
+    if args.json:
+        print(json.dumps({"records": records,
+                          "mttr": mttr_by_check(records)},
+                         indent=2, sort_keys=True))
+    else:
+        print(render_incidents(records))
+    return 0
+
+
 def cmd_version(args) -> int:
     print("repro %s — Berkeley PPM reproduction (ICDCS 1986)"
           % (__version__,))
@@ -403,6 +506,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     doctor.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
     doctor.set_defaults(fn=cmd_doctor)
+
+    watch = sub.add_parser(
+        "watch", help="run the doctor continuously: sweep on an "
+                      "interval, journal onset/clear edges")
+    watch.add_argument("--seed", type=int, default=1)
+    watch.add_argument("--interval-ms", type=float, default=1000.0,
+                       dest="interval_ms",
+                       help="sweep interval: virtual ms on netsim, "
+                            "wall ms on realnet (default 1000)")
+    watch.add_argument("--max-sweeps", type=int, default=8,
+                       dest="max_sweeps",
+                       help="stop after this many sweeps (default 8)")
+    watch.add_argument("--journal", default=None,
+                       help="append incident records (JSONL) here; "
+                            "render later with `repro incidents`")
+    watch.add_argument("--checks", nargs="*", default=None,
+                       help="watch only these checks (default: all)")
+    watch.add_argument("--inject", choices=["dead-host"], default=None,
+                       help="netsim only: crash ucbernie mid-watch "
+                            "and reboot it later (CI self-test)")
+    watch.add_argument("--registry", default=None,
+                       help="watch the live fleet sharing this "
+                            "registry file instead of netsim")
+    watch.add_argument("--hosts", nargs="*", default=None,
+                       help="expected fleet roster (realnet mode)")
+    watch.add_argument("--timeout-ms", type=float, default=3000.0,
+                       dest="timeout_ms",
+                       help="per-host probe timeout (realnet mode)")
+    watch.add_argument("--baseline", default=None,
+                       help="JSON p99 baseline for the latency SLO "
+                            "check")
+    watch.set_defaults(fn=cmd_watch)
+
+    incidents = sub.add_parser(
+        "incidents", help="render a watch journal: timeline + MTTR "
+                          "per check")
+    incidents.add_argument("journal", help="JSONL journal written by "
+                                           "`repro watch --journal`")
+    incidents.add_argument("--json", action="store_true",
+                           help="emit records and MTTR stats as JSON")
+    incidents.set_defaults(fn=cmd_incidents)
 
     version = sub.add_parser("version", help="print the version")
     version.set_defaults(fn=cmd_version)

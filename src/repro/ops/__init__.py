@@ -10,7 +10,15 @@
   realnet fleet over TCP) and :func:`run_doctor`.
 * :mod:`repro.ops.triggers` — prebuilt operational triggers (p99
   regression, tree-repair storm, CCS flap, dedup-cache blowup,
-  retransmission storm, host down) over the paper's trigger engine.
+  retransmission storm, host down, watch onset) over the paper's
+  trigger engine.
+* :mod:`repro.ops.watch` — the continuous watch loop: interval
+  sweeps over either backend, onset/clear edge detection between
+  consecutive sweeps, and per-sweep time-series sampling
+  (:mod:`repro.perf.timeseries`).
+* :mod:`repro.ops.journal` — the append-only JSONL incident journal
+  the watch loop writes, and the ``repro incidents`` rendering
+  (timeline + MTTR per check).
 
 Everything here is read-only and opt-in: probing a world never sends
 protocol messages on the netsim backend, never perturbs the RNG or
@@ -29,6 +37,9 @@ from .checks import (
     OpsAlert,
     OrphanRecord,
     WorldView,
+    check_to_dict,
+    offending_entities,
+    report_to_dict,
     run_checks,
 )
 from .doctor import (
@@ -39,6 +50,13 @@ from .doctor import (
     run_doctor,
     write_baseline,
 )
+from .journal import (
+    IncidentJournal,
+    incident_records,
+    mttr_by_check,
+    read_journal,
+    render_incidents,
+)
 from .triggers import (
     ccs_flap_trigger,
     dedup_cache_blowup_trigger,
@@ -47,6 +65,15 @@ from .triggers import (
     p99_regression_trigger,
     retransmission_storm_trigger,
     tree_repair_storm_trigger,
+    watch_onset_trigger,
+)
+from .watch import (
+    DEFAULT_INTERVAL_MS,
+    RUNBOOK_ANCHORS,
+    WatchEdge,
+    Watcher,
+    watch_fleet,
+    watch_world,
 )
 
 __all__ = [
@@ -60,6 +87,9 @@ __all__ = [
     "OpsAlert",
     "OrphanRecord",
     "WorldView",
+    "check_to_dict",
+    "offending_entities",
+    "report_to_dict",
     "run_checks",
     "alerts_from_engine",
     "load_baseline",
@@ -67,6 +97,11 @@ __all__ = [
     "probe_world",
     "run_doctor",
     "write_baseline",
+    "IncidentJournal",
+    "incident_records",
+    "mttr_by_check",
+    "read_journal",
+    "render_incidents",
     "ccs_flap_trigger",
     "dedup_cache_blowup_trigger",
     "host_down_trigger",
@@ -74,4 +109,11 @@ __all__ = [
     "p99_regression_trigger",
     "retransmission_storm_trigger",
     "tree_repair_storm_trigger",
+    "watch_onset_trigger",
+    "DEFAULT_INTERVAL_MS",
+    "RUNBOOK_ANCHORS",
+    "WatchEdge",
+    "Watcher",
+    "watch_fleet",
+    "watch_world",
 ]

@@ -17,6 +17,7 @@ exit always names the highest-priority broken layer.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -104,6 +105,10 @@ class WorldView:
     #: realnet only: published hosts whose listener no longer answers.
     stale_entries: List[str] = field(default_factory=list)
     alerts: List[OpsAlert] = field(default_factory=list)
+    #: When the probe sampled the world, on the backend clock
+    #: (simulated ms on netsim, fabric wall-clock ms on realnet).
+    #: Watch journal records and ``doctor --json`` share this field.
+    probed_at_ms: Optional[float] = None
 
 
 @dataclass
@@ -135,6 +140,9 @@ class CheckResult:
     ok: bool
     detail: str
     data: dict = field(default_factory=dict)
+    #: Wall-clock cost of evaluating this check (set by
+    #: :func:`run_checks`; diagnostics only — never deterministic).
+    duration_ms: Optional[float] = None
 
     @property
     def exit_code(self) -> int:
@@ -169,14 +177,7 @@ class DoctorReport:
         return 0
 
     def to_dict(self) -> dict:
-        return {
-            "backend": self.backend,
-            "ok": self.ok,
-            "exit_code": self.exit_code,
-            "checks": [{"name": r.name, "ok": r.ok, "detail": r.detail,
-                        "exit_code": r.exit_code, "data": r.data}
-                       for r in self.results],
-        }
+        return report_to_dict(self)
 
     def render(self) -> str:
         from ..util import format_table
@@ -192,6 +193,63 @@ class DoctorReport:
             verdict = ("doctor: UNHEALTHY — first failing check "
                        "'%s' (exit %d)" % (first.name, first.exit_code))
         return "%s\n%s" % (table, verdict)
+
+
+# ----------------------------------------------------------------------
+# The shared serialization (doctor --json and the watch journal)
+# ----------------------------------------------------------------------
+
+def check_to_dict(result: CheckResult) -> dict:
+    """One check as a plain dict — the *one* per-check schema, shared
+    by ``repro doctor --json`` and watch incident-journal records."""
+    return {"name": result.name, "ok": result.ok,
+            "detail": result.detail, "exit_code": result.exit_code,
+            "duration_ms": result.duration_ms, "data": result.data}
+
+
+def report_to_dict(report: "DoctorReport") -> dict:
+    """A full report as a plain dict (``repro doctor --json``)."""
+    view = report.view
+    return {
+        "backend": report.backend,
+        "ok": report.ok,
+        "exit_code": report.exit_code,
+        "probed_at_ms": view.probed_at_ms if view is not None else None,
+        "checks": [check_to_dict(r) for r in report.results],
+    }
+
+
+def offending_entities(result: CheckResult) -> Tuple[str, ...]:
+    """The entities a failing check blames, as stable display strings.
+
+    This is what a watch journal record carries in its ``entities``
+    field — the *who*, separated from the free-text ``detail``, so an
+    incident for host ``gamma`` is machine-matchable on both backends.
+    Passing checks (and checks without per-entity data) yield ``()``.
+    """
+    data = result.data
+    if result.name == "daemon-liveness":
+        return tuple(sorted(set(data.get("missing", ())) |
+                            set(data.get("down", ())) |
+                            set(data.get("daemon_dead", ()))))
+    if result.name == "lpm-liveness":
+        return tuple(sorted("%s@%s" % (user, host)
+                            for host, user in data.get("dead", ())))
+    if result.name == "orphan-processes":
+        return tuple(sorted("%s:%d" % (host, pid) for host, _user, pid,
+                            _command in data.get("orphans", ())))
+    if result.name == "overlay-degree":
+        return tuple(sorted("%s@%s" % (user, host)
+                            for host, user, _degree
+                            in data.get("over", ())))
+    if result.name == "broadcast-coverage":
+        return tuple(data.get("unreachable", ()))
+    if result.name == "registry-staleness":
+        return tuple(data.get("stale", ()))
+    if result.name == "trigger-alerts":
+        return tuple(sorted({name for name, _detail, _time_ms
+                             in data.get("alerts", ())}))
+    return ()
 
 
 # ----------------------------------------------------------------------
@@ -430,8 +488,11 @@ def run_checks(view: WorldView,
     results = []
     for name in CHECK_ORDER:
         fn = _CHECK_FNS[name]
+        started = time.perf_counter()
         if name == "latency-slo":
-            results.append(fn(view, config, baseline))
+            result = fn(view, config, baseline)
         else:
-            results.append(fn(view, config))
+            result = fn(view, config)
+        result.duration_ms = (time.perf_counter() - started) * 1000.0
+        results.append(result)
     return DoctorReport(view.backend, results, view=view)

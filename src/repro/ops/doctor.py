@@ -82,6 +82,7 @@ def probe_world(world, alerts: Optional[List[OpsAlert]] = None,
         counters=PERF.snapshot(),
         latency=tracer.latency_summary() if tracer is not None else {},
         alerts=list(alerts) if alerts else [],
+        probed_at_ms=float(world.sim.now_ms),
     )
     for engine in engines:
         view.alerts.extend(alerts_from_engine(engine))
@@ -136,7 +137,8 @@ def _dedupe_alerts(view: WorldView) -> None:
 def probe_fleet(registry_path: str,
                 expected_hosts: Optional[Sequence[str]] = None,
                 timeout_ms: float = 3000.0,
-                alerts: Optional[List[OpsAlert]] = None) -> WorldView:
+                alerts: Optional[List[OpsAlert]] = None,
+                fabric=None) -> WorldView:
     """Build a :class:`WorldView` from a live ``repro serve`` fleet.
 
     The socket work lives in :func:`repro.realnet.session.probe_fleet`
@@ -144,12 +146,14 @@ def probe_fleet(registry_path: str,
     function only reshapes its findings into the check library's
     view.  A published host that no longer answers is *both* a daemon
     failure and a stale registry entry — exactly what a SIGKILLed
-    serve process leaves behind.
+    serve process leaves behind.  ``fabric`` is passed through to the
+    socket layer so a watch loop can reuse one dial fabric across
+    sweeps.
     """
     from ..realnet.session import probe_fleet as _probe
 
     raw = _probe(registry_path, expected_hosts=expected_hosts,
-                 timeout_ms=timeout_ms)
+                 timeout_ms=timeout_ms, fabric=fabric)
     hosts: Dict[str, HostHealth] = {}
     lpms: List[LpmHealth] = []
     stale: List[str] = []
@@ -180,6 +184,7 @@ def probe_fleet(registry_path: str,
         registry_entries=dict(raw["registry"]),
         stale_entries=stale,
         alerts=list(alerts) if alerts else [],
+        probed_at_ms=raw.get("probed_at_ms"),
     )
     return view
 

@@ -1,0 +1,196 @@
+"""The incident journal: append-only JSONL under a watch loop.
+
+The watch loop (:mod:`repro.ops.watch`) emits *edges* — a check that
+passed last sweep fails now (onset), or the reverse (clear).  This
+module persists them: one JSON object per line, append-only, so a
+crashed watcher loses at most the line it was writing and a tail of
+the file is always a valid suffix of the incident history.
+
+Record shapes (also tabulated in ``docs/OPERATIONS.md``):
+
+``{"kind": "watch-start", ...}``
+    One header per watch run.  Carries the *run* facts — backend,
+    interval, check roster — so the incident records themselves stay
+    backend-free: the same drill on netsim and realnet yields
+    identical incident lines modulo timestamps (the cross-backend
+    conformance test pins this).
+``{"kind": "incident", ...}``
+    One line per edge: monotonic ``seq``, the backend clock ``t_ms``
+    (simulated ms on netsim, wall ms on realnet), the ``check`` name,
+    the ``edge`` direction, the offending ``entities``, the check's
+    triage ``exit_code``, and the ``runbook`` anchor into
+    ``docs/OPERATIONS.md``.  Clear records add ``duration_ms`` — time
+    from onset to clear, the number MTTR summarises.
+
+``repro incidents`` renders a journal back into a timeline plus
+per-check MTTR (:func:`render_incidents`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+#: Schema version stamped into the header record.
+JOURNAL_VERSION = 1
+
+
+class IncidentJournal:
+    """Append-only JSONL sink for watch edges.
+
+    ``path=None`` keeps the journal in memory only (tests, ad-hoc
+    watches); every record lands in :attr:`records` either way.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.records: List[dict] = []
+        self._seq = 0
+
+    # -- writing ---------------------------------------------------------
+
+    def _append(self, record: dict) -> dict:
+        record["seq"] = self._seq
+        self._seq += 1
+        self.records.append(record)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+        return record
+
+    def start(self, backend: str, interval_ms: float,
+              checks: Sequence[str], t_ms: float) -> dict:
+        """Write the run header (the backend-specific facts live here)."""
+        return self._append({
+            "kind": "watch-start",
+            "version": JOURNAL_VERSION,
+            "backend": backend,
+            "interval_ms": interval_ms,
+            "checks": list(checks),
+            "t_ms": t_ms,
+        })
+
+    def record_edge(self, edge) -> dict:
+        """Write one :class:`~repro.ops.watch.WatchEdge` as an incident
+        line.  ``duration_ms`` appears only on clear edges."""
+        record = {
+            "kind": "incident",
+            "t_ms": edge.t_ms,
+            "check": edge.check,
+            "edge": edge.edge,
+            "entities": list(edge.entities),
+            "exit_code": edge.exit_code,
+            "detail": edge.detail,
+            "runbook": edge.runbook,
+        }
+        if edge.duration_ms is not None:
+            record["duration_ms"] = edge.duration_ms
+        return self._append(record)
+
+
+# ----------------------------------------------------------------------
+# Reading a journal back
+# ----------------------------------------------------------------------
+
+def read_journal(path: str) -> List[dict]:
+    """Parse a JSONL journal file.  Tolerates a torn final line (the
+    crash-mid-append case the append-only format exists for)."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                break  # torn tail: everything before it is valid
+    return records
+
+
+def incident_records(records: Sequence[dict]) -> List[dict]:
+    return [r for r in records if r.get("kind") == "incident"]
+
+
+def mttr_by_check(records: Sequence[dict]) -> Dict[str, dict]:
+    """Per-check incident statistics from a journal.
+
+    Pairs each clear with its preceding onset (the watch loop never
+    emits two onsets for one check without a clear between, so plain
+    ordering pairs them).  Returns per check::
+
+        {"onsets": n, "clears": n, "open": bool,
+         "mttr_ms": mean onset->clear time or None}
+    """
+    stats: Dict[str, dict] = {}
+    opened: Dict[str, float] = {}
+    for record in incident_records(records):
+        check = record["check"]
+        entry = stats.setdefault(check, {"onsets": 0, "clears": 0,
+                                         "open": False, "mttr_ms": None,
+                                         "_repair_ms": []})
+        if record["edge"] == "onset":
+            entry["onsets"] += 1
+            entry["open"] = True
+            opened[check] = record["t_ms"]
+        elif record["edge"] == "clear":
+            entry["clears"] += 1
+            entry["open"] = False
+            onset_t = opened.pop(check, None)
+            repair = record.get("duration_ms")
+            if repair is None and onset_t is not None:
+                repair = record["t_ms"] - onset_t
+            if repair is not None:
+                entry["_repair_ms"].append(repair)
+    for entry in stats.values():
+        repairs = entry.pop("_repair_ms")
+        if repairs:
+            entry["mttr_ms"] = sum(repairs) / len(repairs)
+    return stats
+
+
+def render_incidents(records: Sequence[dict]) -> str:
+    """The ``repro incidents`` view: a timeline, then MTTR per check."""
+    from ..util import format_table
+
+    parts: List[str] = []
+    header = next((r for r in records if r.get("kind") == "watch-start"),
+                  None)
+    if header is not None:
+        parts.append("watch on %s backend, sweep every %.0f ms"
+                     % (header.get("backend", "?"),
+                        header.get("interval_ms", 0.0)))
+    incidents = incident_records(records)
+    if not incidents:
+        parts.append("no incidents recorded")
+        return "\n".join(parts)
+
+    rows = []
+    for record in incidents:
+        duration = record.get("duration_ms")
+        rows.append([
+            "%.1f" % record["t_ms"],
+            record["edge"].upper(),
+            record["check"],
+            ",".join(record.get("entities", ())) or "-",
+            str(record.get("exit_code", "")),
+            "%.1f ms" % duration if duration is not None else "",
+        ])
+    parts.append(format_table(
+        ["t_ms", "edge", "check", "entities", "exit", "downtime"],
+        rows, title="incident timeline"))
+
+    stats = mttr_by_check(records)
+    rows = [[check,
+             str(entry["onsets"]),
+             str(entry["clears"]),
+             "yes" if entry["open"] else "no",
+             "%.1f ms" % entry["mttr_ms"]
+             if entry["mttr_ms"] is not None else "-"]
+            for check, entry in sorted(stats.items())]
+    parts.append("")
+    parts.append(format_table(
+        ["check", "onsets", "clears", "open", "mttr"],
+        rows, title="mean time to recovery"))
+    return "\n".join(parts)

@@ -23,14 +23,21 @@ module ships the conditions an *operator* wants armed by default:
 ``ops:host-down``
     A ``FAILURE_DETECTED`` event was recorded (a sibling's circuit
     broke and the failure detector noticed).
+``ops:watch-onset``
+    The continuous watch loop (:mod:`repro.ops.watch`) recorded a
+    check *onset* edge — a health check that passed last sweep fails
+    now.  Edge-triggered by construction: the watch loop records one
+    ``WATCH_EDGE`` event per transition, never per poll.
 
 Each firing appends an :class:`~repro.ops.checks.OpsAlert` to the
 shared alert log, which ``repro doctor`` surfaces through the
-``trigger-alerts`` check and ``repro stats`` prints.  All triggers are
-``once=True``: an alert is a latched fact for the operator to clear,
-not a log line to repeat.  Nothing here is armed by default — worlds
-without :func:`install_ops_triggers` schedule nothing and stay
-byte-identical.
+``trigger-alerts`` check and ``repro stats`` prints.  The condition
+triggers are ``once=True``: an alert is a latched fact for the
+operator to clear, not a log line to repeat.  (``ops:watch-onset`` is
+the exception — each onset is a distinct incident.)  Nothing here is
+armed by default — worlds without :func:`install_ops_triggers`
+schedule nothing and stay byte-identical.  Arming is idempotent per
+engine: trigger names already present are left untouched.
 """
 
 from __future__ import annotations
@@ -172,6 +179,34 @@ def host_down_trigger(alerts: List[OpsAlert]) -> Trigger:
         event_type=TraceEventType.FAILURE_DETECTED, once=True)
 
 
+def watch_onset_trigger(alerts: List[OpsAlert]) -> Trigger:
+    """Latch one alert per check-onset edge the watch loop records.
+
+    The watch loop records a ``WATCH_EDGE`` event only when a check
+    *transitions* (section "Continuous watch", ``docs/OPERATIONS.md``),
+    so this trigger fires exactly once per incident onset no matter
+    how many sweeps the condition persists.  Deliberately not
+    ``once=True``: a second, later incident is a second alert.
+    """
+    state = {"check": "", "entities": ""}
+
+    def predicate(event, history) -> bool:
+        if event.details.get("edge") != "onset":
+            return False
+        state["check"] = event.details.get("check", "?")
+        state["entities"] = ",".join(event.details.get("entities", ()))
+        return True
+
+    return Trigger(
+        name="ops:watch-onset",
+        action=_alerting(
+            "ops:watch-onset", alerts,
+            lambda: "%s onset (%s)" % (state["check"],
+                                       state["entities"] or "-")),
+        event_type=TraceEventType.WATCH_EDGE,
+        predicate=predicate)
+
+
 def install_ops_triggers(engine,
                          alerts: Optional[List[OpsAlert]] = None,
                          summary_fn: Optional[Callable] = None,
@@ -193,21 +228,33 @@ def install_ops_triggers(engine,
     installed only when both a ``summary_fn`` and a baseline p99 for
     ``p99_op`` are available; the dedup trigger only with a
     ``dedup_size_fn``.
+
+    Idempotent per engine: a trigger whose name is already armed is
+    skipped, so arming twice (a session helper *and* a watch loop,
+    say) never double-registers — and never latches duplicate alerts
+    for one condition.
     """
     log = alerts if alerts is not None else []
+    installed = {trigger.name for trigger in engine.triggers}
+
+    def arm(trigger) -> None:
+        if trigger.name not in installed:
+            installed.add(trigger.name)
+            engine.add(trigger)
+
     if summary_fn is not None and baseline and \
             baseline.get(p99_op) is not None:
-        engine.add(p99_regression_trigger(
+        arm(p99_regression_trigger(
             summary_fn, baseline[p99_op], log, op=p99_op,
             factor=p99_factor))
-    engine.add(tree_repair_storm_trigger(log,
-                                         threshold=repair_threshold))
-    engine.add(ccs_flap_trigger(log, window_ms=flap_window_ms,
-                                threshold=flap_threshold))
+    arm(tree_repair_storm_trigger(log, threshold=repair_threshold))
+    arm(ccs_flap_trigger(log, window_ms=flap_window_ms,
+                         threshold=flap_threshold))
     if dedup_size_fn is not None:
-        engine.add(dedup_cache_blowup_trigger(
+        arm(dedup_cache_blowup_trigger(
             dedup_size_fn, log, threshold=dedup_threshold))
-    engine.add(retransmission_storm_trigger(
+    arm(retransmission_storm_trigger(
         log, threshold=retransmit_threshold))
-    engine.add(host_down_trigger(log))
+    arm(host_down_trigger(log))
+    arm(watch_onset_trigger(log))
     return log

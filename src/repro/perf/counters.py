@@ -158,6 +158,20 @@ Operational surface (``repro.ops``):
     Operational-trigger firings latched onto an alert log (the
     prebuilt ``ops:*`` triggers' default action).
 
+Continuous watch (``repro.ops.watch``, ``repro.perf.timeseries``):
+
+``watch_sweeps``
+    Probe sweeps a watch loop fed through its edge detector
+    (:meth:`repro.ops.watch.Watcher.feed` calls, across both
+    backends).
+``watch_edges``
+    Onset/clear transitions the watch loop detected and journalled
+    (each incident contributes one onset and, once recovered, one
+    clear).
+``watch_samples``
+    Time-series sampling ticks (:meth:`MetricsSampler.sample` calls —
+    one per sweep when a sampler is attached).
+
 Span tracing (``repro.perf.spans``):
 
 ``spans_started``
@@ -211,6 +225,9 @@ _COUNTERS = (
     "doctor_runs",
     "doctor_checks_failed",
     "ops_alerts_raised",
+    "watch_sweeps",
+    "watch_edges",
+    "watch_samples",
     "spans_started",
     "spans_finished",
     "histogram_records",

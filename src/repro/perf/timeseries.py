@@ -1,0 +1,197 @@
+"""Fixed-capacity time series over the counter and histogram layers.
+
+The flat counters (:mod:`repro.perf.counters`) answer "how much work
+has happened"; the histograms (:mod:`repro.perf.histogram`) answer
+"how slow is it".  Neither answers the question a *continuous* watch
+loop needs: "is it getting worse?".  This module adds that third
+shape — per-metric ring buffers sampled once per probe tick, with
+windowed derivative queries — so "retransmissions are *rising*" is an
+answerable question, not just "retransmissions are high".
+
+Design constraints, in the spirit of the counter layer:
+
+* **Bounded memory.**  Every series is a fixed-capacity ring
+  (:class:`RingSeries`); a watch loop that runs for a week holds the
+  same bytes as one that ran for a minute.  Old samples roll off.
+* **Sampling is read-only.**  A sample is a snapshot read of ``PERF``
+  plus (optionally) the tracer's ``latency_summary()``; nothing is
+  scheduled, no RNG is touched, no state outside the sampler mutates —
+  the same contract the doctor's probes keep (``docs/OPERATIONS.md``).
+* **Derived numbers stay derived.**  The counters never store rates;
+  neither do the rings.  ``rate_per_s`` / ``delta_since`` / ``ewma``
+  are computed from raw samples at query time.
+
+:class:`MetricsSampler` is the convenience wiring the watch loop uses:
+one ``sample(now_ms)`` call per sweep snapshots every counter (and any
+histogram p99s) into named series.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .counters import PERF
+
+#: Default samples retained per series (one hour of ticks at one sweep
+#: every 14 s; ~100 series of floats stay well under a megabyte).
+DEFAULT_CAPACITY = 256
+
+
+class RingSeries:
+    """One metric's fixed-capacity ``(t_ms, value)`` sample ring."""
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self.name = name
+        self._samples: deque = deque(maxlen=capacity)
+
+    # -- recording -------------------------------------------------------
+
+    def append(self, t_ms: float, value: float) -> None:
+        """Record one sample; the oldest rolls off at capacity."""
+        self._samples.append((t_ms, value))
+
+    # -- inspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def capacity(self) -> int:
+        return self._samples.maxlen
+
+    def samples(self) -> List[Tuple[float, float]]:
+        """The retained ``(t_ms, value)`` pairs, oldest first."""
+        return list(self._samples)
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        return self._samples[-1] if self._samples else None
+
+    # -- windowed queries ------------------------------------------------
+
+    def _anchor(self, since_ms: Optional[float]) -> Optional[Tuple[float, float]]:
+        """The sample the window starts from: the newest one at or
+        before ``since_ms``, falling back to the oldest retained when
+        the window reaches past the ring."""
+        if not self._samples:
+            return None
+        if since_ms is None:
+            return self._samples[0]
+        anchor = None
+        for t_ms, value in self._samples:
+            if t_ms > since_ms:
+                break
+            anchor = (t_ms, value)
+        return anchor if anchor is not None else self._samples[0]
+
+    def delta_since(self, since_ms: Optional[float] = None
+                    ) -> Optional[float]:
+        """Latest value minus the value at the window anchor.
+
+        ``since_ms=None`` spans the whole retained ring.  Returns None
+        until two samples exist (a delta needs a before and an after).
+        """
+        if len(self._samples) < 2:
+            return None
+        anchor = self._anchor(since_ms)
+        latest = self._samples[-1]
+        if anchor is latest:
+            return None
+        return latest[1] - anchor[1]
+
+    def rate_per_s(self, window_ms: Optional[float] = None
+                   ) -> Optional[float]:
+        """Average change per second over the window (monotonic
+        counters: events/second; gauges: slope).  Returns None until
+        two distinct-time samples exist in the window."""
+        if len(self._samples) < 2:
+            return None
+        latest_t, latest_v = self._samples[-1]
+        since_ms = None if window_ms is None else latest_t - window_ms
+        anchor = self._anchor(since_ms)
+        if anchor is None:
+            return None
+        anchor_t, anchor_v = anchor
+        span_ms = latest_t - anchor_t
+        if span_ms <= 0.0:
+            return None
+        return (latest_v - anchor_v) / span_ms * 1000.0
+
+    def ewma(self, alpha: float = 0.3) -> Optional[float]:
+        """Exponentially weighted moving average of the retained
+        values, oldest to newest (``alpha`` weights the newer sample).
+        Returns None while the ring is empty."""
+        if not self._samples:
+            return None
+        average: Optional[float] = None
+        for _, value in self._samples:
+            average = value if average is None else \
+                alpha * value + (1.0 - alpha) * average
+        return average
+
+
+class MetricsSampler:
+    """Snapshot ``PERF`` (and histogram p99s) into ring series per tick.
+
+    One instance belongs to one watch loop.  ``counters`` narrows the
+    sampled set (default: every ``PerfCounters`` slot); histogram
+    series appear as ``<op>_p99_ms`` as soon as the tracer's summary
+    carries a non-None p99 for the operation class.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 counters: Optional[Sequence[str]] = None) -> None:
+        self.capacity = capacity
+        self._counters: Tuple[str, ...] = tuple(
+            counters if counters is not None else PERF.snapshot())
+        self.series: Dict[str, RingSeries] = {}
+
+    def _series(self, name: str) -> RingSeries:
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = RingSeries(
+                name, capacity=self.capacity)
+        return series
+
+    def sample(self, now_ms: float,
+               latency: Optional[Dict[str, dict]] = None) -> None:
+        """Record one tick: every tracked counter, plus any histogram
+        p99s in ``latency`` (a ``tracer.latency_summary()`` dict)."""
+        PERF.watch_samples += 1
+        snapshot = PERF.snapshot()
+        for name in self._counters:
+            self._series(name).append(now_ms, snapshot[name])
+        for op, block in (latency or {}).items():
+            p99 = block.get("p99_ms")
+            if p99 is not None:
+                self._series("%s_p99_ms" % op).append(now_ms, p99)
+
+    # -- convenience queries ---------------------------------------------
+
+    def rate_per_s(self, name: str,
+                   window_ms: Optional[float] = None) -> Optional[float]:
+        series = self.series.get(name)
+        return series.rate_per_s(window_ms) if series is not None else None
+
+    def delta_since(self, name: str,
+                    since_ms: Optional[float] = None) -> Optional[float]:
+        series = self.series.get(name)
+        return series.delta_since(since_ms) if series is not None else None
+
+    def ewma(self, name: str, alpha: float = 0.3) -> Optional[float]:
+        series = self.series.get(name)
+        return series.ewma(alpha) if series is not None else None
+
+    def rising(self, names: Iterable[str],
+               window_ms: Optional[float] = None) -> Dict[str, float]:
+        """The subset of ``names`` with a positive rate over the
+        window — the "what is getting worse" one-liner watch prints."""
+        out: Dict[str, float] = {}
+        for name in names:
+            rate = self.rate_per_s(name, window_ms)
+            if rate is not None and rate > 0.0:
+                out[name] = rate
+        return out

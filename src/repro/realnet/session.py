@@ -141,7 +141,8 @@ def launch_hosts(hosts: Sequence[str],
 
 def probe_fleet(registry_path: str,
                 expected_hosts: Optional[Sequence[str]] = None,
-                timeout_ms: float = 3000.0) -> dict:
+                timeout_ms: float = 3000.0,
+                fabric: Optional[AsyncioFabric] = None) -> dict:
     """Probe a live fleet for ``repro doctor`` — no LPM side effects.
 
     Dials every expected host's ``__status__`` service through the
@@ -152,10 +153,14 @@ def probe_fleet(registry_path: str,
         {"registry": {host: (addr, port)},
          "statuses": {host: {"ok": True, "services": [...], ...}
                             | {"error": reason}},
-         "orphans":  [{"pid": ..., "command": ...}, ...]}
+         "orphans":  [{"pid": ..., "command": ...}, ...],
+         "probed_at_ms": <fabric clock when the sweep started>}
 
     ``expected_hosts`` defaults to whatever the registry lists; pass
     the full fleet roster to also catch hosts that never published.
+    ``fabric`` lets a long-lived caller (the watch loop) reuse one
+    dial fabric across sweeps instead of paying a fresh event loop per
+    probe; when omitted a private fabric is created and closed here.
     The backend-neutral reshaping lives in
     :func:`repro.ops.doctor.probe_fleet`.
     """
@@ -167,7 +172,10 @@ def probe_fleet(registry_path: str,
     hosts = sorted(set(expected_hosts) | set(entries)) \
         if expected_hosts else sorted(entries)
     statuses = {}
-    fabric = AsyncioFabric(registry, local_host="doctor")
+    owns_fabric = fabric is None
+    if owns_fabric:
+        fabric = AsyncioFabric(registry, local_host="doctor")
+    probed_at_ms = float(fabric.now_ms)
     try:
         for host in hosts:
             if host not in entries:
@@ -199,9 +207,11 @@ def probe_fleet(registry_path: str,
                 result = {"error": "malformed status reply"}
             statuses[host] = result
     finally:
-        fabric.close()
+        if owns_fabric:
+            fabric.close()
     return {"registry": entries, "statuses": statuses,
-            "orphans": find_marked_orphans()}
+            "orphans": find_marked_orphans(),
+            "probed_at_ms": probed_at_ms}
 
 
 def _src_pythonpath() -> str:

@@ -65,6 +65,10 @@ class TraceEventType(Enum):
     # Triggers.
     TRIGGER_FIRED = "trigger_fired"
 
+    # Continuous watch (repro.ops.watch): a health check crossed its
+    # onset or clear edge between two sweeps.
+    WATCH_EDGE = "watch_edge"
+
 
 class Granularity(Enum):
     """How much the recorder keeps, coarse to fine."""
@@ -89,6 +93,7 @@ _COARSE = {
     TraceEventType.CCS_PROBE, TraceEventType.CCS_RELINQUISHED,
     TraceEventType.TIME_TO_DIE_ARMED, TraceEventType.TIME_TO_DIE_FIRED,
     TraceEventType.RECOVERY_RESUMED, TraceEventType.TRIGGER_FIRED,
+    TraceEventType.WATCH_EDGE,
 }
 _MEDIUM_EXTRA = {
     TraceEventType.SIGNAL, TraceEventType.STOPPED, TraceEventType.CONTINUED,

@@ -14,6 +14,9 @@ from repro.ops import (
     OpsAlert,
     OrphanRecord,
     WorldView,
+    check_to_dict,
+    offending_entities,
+    report_to_dict,
     run_checks,
 )
 
@@ -250,3 +253,76 @@ class TestTriggerAlerts:
         assert not result.ok
         assert "ops:tree-repair-storm" in result.detail
         assert report.exit_code == 18
+
+
+class TestSharedSchema:
+    """report_to_dict/check_to_dict: the one serialization shared by
+    ``doctor --json`` and the watch incident journal."""
+
+    def test_report_dict_shape(self):
+        view = healthy_view(probed_at_ms=1234.5)
+        report = run_checks(view)
+        as_dict = report_to_dict(report)
+        assert as_dict["backend"] == "netsim"
+        assert as_dict["ok"] is True
+        assert as_dict["exit_code"] == 0
+        assert as_dict["probed_at_ms"] == 1234.5
+        assert [c["name"] for c in as_dict["checks"]] == list(CHECK_ORDER)
+        assert as_dict == report.to_dict()
+
+    def test_every_check_carries_duration(self):
+        report = run_checks(healthy_view())
+        for check in report_to_dict(report)["checks"]:
+            assert check["duration_ms"] is not None
+            assert check["duration_ms"] >= 0.0
+
+    def test_check_dict_keys_stable(self):
+        report = run_checks(healthy_view())
+        assert set(check_to_dict(report.results[0])) == {
+            "name", "ok", "detail", "exit_code", "duration_ms", "data"}
+
+
+class TestOffendingEntities:
+    def test_daemon_liveness_merges_all_failure_lists(self):
+        view = healthy_view(
+            expected_hosts=("alpha", "beta", "gamma"),
+            hosts={"alpha": HostHealth("alpha", up=False, daemon=False),
+                   "beta": HostHealth("beta", up=True, daemon=False)})
+        result = result_for(run_checks(view), "daemon-liveness")
+        assert offending_entities(result) == ("alpha", "beta", "gamma")
+
+    def test_lpm_liveness_names_user_at_host(self):
+        view = healthy_view(lpms=[
+            LpmHealth("alpha", "lfc", alive=False),
+            LpmHealth("beta", "lfc", alive=True, siblings=("alpha",))])
+        result = result_for(run_checks(view), "lpm-liveness")
+        assert offending_entities(result) == ("lfc@alpha",)
+
+    def test_orphans_name_host_and_pid(self):
+        view = healthy_view(orphans=[
+            OrphanRecord("beta", "lfc", 42, "solver")])
+        result = result_for(run_checks(view), "orphan-processes")
+        assert offending_entities(result) == ("beta:42",)
+
+    def test_registry_staleness_names_stale_hosts(self):
+        view = healthy_view(
+            backend="realnet",
+            registry_entries={"alpha": ("127.0.0.1", 1),
+                              "beta": ("127.0.0.1", 2)},
+            stale_entries=["beta"])
+        result = result_for(run_checks(view), "registry-staleness")
+        assert offending_entities(result) == ("beta",)
+
+    def test_trigger_alerts_name_the_triggers(self):
+        view = healthy_view(alerts=[
+            OpsAlert("ops:host-down", "x", 1.0),
+            OpsAlert("ops:host-down", "y", 2.0),
+            OpsAlert("ops:ccs-flap", "z", 3.0)])
+        result = result_for(run_checks(view), "trigger-alerts")
+        assert offending_entities(result) == ("ops:ccs-flap",
+                                              "ops:host-down")
+
+    def test_passing_check_blames_nobody(self):
+        report = run_checks(healthy_view())
+        for result in report.results:
+            assert offending_entities(result) == ()

@@ -100,3 +100,37 @@ class TestRealnetDoctor:
         assert not report.ok
         assert report.failing[0].name == "daemon-liveness"
         assert "delta" in report.failing[0].detail
+
+    def test_half_dead_host_times_out_instead_of_hanging(self):
+        # A zombie host: the listener accepts TCP (the kernel finishes
+        # the handshake off the backlog) but nothing ever answers the
+        # __status__ dial.  The probe must classify it as a timeout
+        # within its budget — never hang the whole sweep.
+        import time
+
+        from repro.realnet.registry import HostRegistry
+
+        PERF.reset()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(5)
+        port = listener.getsockname()[1]
+        try:
+            with launch() as fleet:
+                HostRegistry(fleet.registry_path).publish(
+                    "zombie", "127.0.0.1", port)
+                started = time.monotonic()
+                view = probe_fleet(fleet.registry_path,
+                                   expected_hosts=HOSTS + ["zombie"],
+                                   timeout_ms=500.0)
+                elapsed_s = time.monotonic() - started
+        finally:
+            listener.close()
+        assert elapsed_s < 30.0, "probe must bound its own wait"
+        zombie = view.hosts["zombie"]
+        assert not zombie.up
+        assert zombie.detail == "status probe timed out"
+        assert "zombie" in view.stale_entries
+        report = run_doctor(view)
+        assert report.exit_code == EXIT_CODES["daemon-liveness"]
+        assert "zombie" in report.failing[0].detail

@@ -120,6 +120,55 @@ class TestStandardSet:
         assert "ops:p99-regression" not in names
 
 
+class TestIdempotentInstall:
+    def test_arming_twice_does_not_double_register(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine)
+        names_once = sorted(t.name for t in engine.triggers)
+        assert install_ops_triggers(engine, alerts=alerts) is alerts
+        assert sorted(t.name for t in engine.triggers) == names_once
+        assert len(names_once) == len(set(names_once))
+
+    def test_rearming_does_not_double_latch(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine)
+        install_ops_triggers(engine, alerts=alerts)
+        recorder.record(TraceEventType.FAILURE_DETECTED, host="alpha")
+        assert fired(alerts).count("ops:host-down") == 1
+        assert PERF.ops_alerts_raised == 1
+
+    def test_second_install_adds_only_missing_triggers(self):
+        # A first, minimal install; the second brings the dedup
+        # trigger its size_fn enables — and nothing else twice.
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine)
+        before = sorted(t.name for t in engine.triggers)
+        install_ops_triggers(engine, alerts=alerts,
+                             dedup_size_fn=lambda: 0)
+        after = sorted(t.name for t in engine.triggers)
+        assert after == sorted(before + ["ops:dedup-cache-blowup"])
+
+
+class TestWatchOnsetTrigger:
+    def test_onset_edges_latch_per_incident(self):
+        clock, recorder, engine = make_engine()
+        alerts = install_ops_triggers(engine)
+        recorder.record(TraceEventType.WATCH_EDGE, host="",
+                        check="daemon-liveness", edge="onset",
+                        entities=["gamma"], exit_code=10)
+        recorder.record(TraceEventType.WATCH_EDGE, host="",
+                        check="daemon-liveness", edge="clear",
+                        entities=["gamma"], exit_code=0)
+        recorder.record(TraceEventType.WATCH_EDGE, host="",
+                        check="lpm-liveness", edge="onset",
+                        entities=["lfc@beta"], exit_code=11)
+        onsets = [a for a in alerts if a.name == "ops:watch-onset"]
+        assert len(onsets) == 2, "each onset is a distinct incident"
+        assert "daemon-liveness" in onsets[0].detail
+        assert "gamma" in onsets[0].detail
+        assert "lpm-liveness" in onsets[1].detail
+
+
 class TestLatching:
     def test_alerts_latch_once(self):
         clock, recorder, engine = make_engine()

@@ -1,0 +1,127 @@
+"""Cross-backend watch conformance: the dead-host drill produces the
+*same* incident journal — record for record, modulo timestamps — on
+the netsim and realnet backends.
+
+The netsim half crashes and reboots a simulated host mid-watch; the
+realnet half SIGKILLs a serve process and relaunches it.  Both watch
+only ``daemon-liveness`` (the realnet kill also trips
+``registry-staleness``, which has no netsim counterpart for this
+failure class), journal to JSONL, and must emit exactly one onset and
+one clear with identical backend-free content.
+"""
+
+import signal
+
+import pytest
+
+from repro import HostClass, PersonalProcessManager, World, install
+from repro.ops import IncidentJournal, watch_fleet, watch_world
+from repro.perf import PERF
+
+from .test_doctor_realnet import HOSTS, launch, needs_real
+
+TIMELESS = ("t_ms", "duration_ms")
+
+
+@pytest.fixture(autouse=True)
+def clean_counters():
+    PERF.reset()
+    yield
+    PERF.reset()
+
+
+def normalize(records):
+    """The journal minus its clocks (virtual vs wall)."""
+    return [{key: value for key, value in record.items()
+             if key not in TIMELESS} for record in records]
+
+
+def netsim_drill_journal(tmp_path):
+    world = World(seed=11)
+    for name, host_class in zip(HOSTS, (HostClass.VAX_780,
+                                        HostClass.VAX_750,
+                                        HostClass.SUN_2)):
+        world.add_host(name, host_class)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    install(world)
+    PersonalProcessManager(world, "lfc", HOSTS[0],
+                           recovery_hosts=HOSTS[:2]).start()
+    world.run_for(1_000.0)
+
+    journal = IncidentJournal(str(tmp_path / "netsim.jsonl"))
+
+    def act(watcher, report, edges):
+        if watcher.sweeps == 2:
+            world.host("gamma").crash()
+        elif watcher.sweeps == 5:
+            world.host("gamma").reboot()
+
+    watch_world(world, interval_ms=500.0, max_sweeps=8,
+                journal=journal, checks=("daemon-liveness",),
+                on_sweep=act)
+    return journal.records
+
+
+def incident_pairs(records):
+    return [(r["check"], r["edge"]) for r in records
+            if r["kind"] == "incident"]
+
+
+class TestNetsimDrill:
+    def test_exactly_one_onset_and_one_clear(self, tmp_path):
+        records = netsim_drill_journal(tmp_path)
+        assert incident_pairs(records) == [("daemon-liveness", "onset"),
+                                           ("daemon-liveness", "clear")]
+
+
+@needs_real
+class TestCrossBackendConformance:
+    def realnet_drill_journal(self, tmp_path):
+        from repro.realnet.session import launch_hosts
+
+        journal = IncidentJournal(str(tmp_path / "realnet.jsonl"))
+        relaunched = []
+        with launch() as fleet:
+            def act(watcher, report, edges):
+                if watcher.sweeps == 2:
+                    victim = fleet.processes[HOSTS.index("gamma")]
+                    victim.send_signal(signal.SIGKILL)
+                    victim.wait()
+                elif watcher.sweeps == 5:
+                    # launch_hosts blocks until gamma republishes, so
+                    # the next sweep deterministically sees the clear.
+                    relaunched.append(launch_hosts(
+                        ["gamma"], registry_path=fleet.registry_path))
+            try:
+                watch_fleet(fleet.registry_path, interval_ms=300.0,
+                            max_sweeps=8, expected_hosts=HOSTS,
+                            timeout_ms=2_000.0, journal=journal,
+                            checks=("daemon-liveness",), on_sweep=act)
+            finally:
+                for extra in relaunched:
+                    extra.shutdown()
+        return journal.records
+
+    def test_same_journal_modulo_timestamps(self, tmp_path):
+        sim_records = netsim_drill_journal(tmp_path)
+        real_records = self.realnet_drill_journal(tmp_path)
+
+        assert incident_pairs(real_records) == \
+            incident_pairs(sim_records) == \
+            [("daemon-liveness", "onset"), ("daemon-liveness", "clear")]
+
+        sim, real = normalize(sim_records), normalize(real_records)
+        # The headers differ exactly in the backend (and the realnet
+        # sweep interval is wall-clock, not virtual).
+        assert sim[0]["backend"] == "netsim"
+        assert real[0]["backend"] == "realnet"
+        assert sim[0]["checks"] == real[0]["checks"]
+        # The incident records are identical, field for field: same
+        # seq, check, edge, entities, exit code, detail, runbook.
+        assert sim[1:] == real[1:]
+
+    def test_clear_reports_positive_downtime(self, tmp_path):
+        records = self.realnet_drill_journal(tmp_path)
+        clear = [r for r in records if r.get("edge") == "clear"][0]
+        assert clear["duration_ms"] > 0.0

@@ -1,0 +1,107 @@
+"""The time-series layer: ring buffers and windowed derivatives."""
+
+import pytest
+
+from repro.perf import DEFAULT_CAPACITY, PERF, MetricsSampler, RingSeries
+
+
+@pytest.fixture(autouse=True)
+def clean_counters():
+    PERF.reset()
+    yield
+    PERF.reset()
+
+
+class TestRingSeries:
+    def test_bounded_capacity_rolls_oldest_off(self):
+        ring = RingSeries("x", capacity=4)
+        for tick in range(10):
+            ring.append(float(tick), float(tick * 10))
+        assert len(ring) == 4
+        assert ring.capacity == 4
+        assert ring.samples()[0] == (6.0, 60.0)
+        assert ring.latest() == (9.0, 90.0)
+
+    def test_delta_needs_two_samples(self):
+        ring = RingSeries("x")
+        assert ring.delta_since() is None
+        ring.append(0.0, 5.0)
+        assert ring.delta_since() is None
+        ring.append(10.0, 8.0)
+        assert ring.delta_since() == pytest.approx(3.0)
+
+    def test_delta_since_window_anchor(self):
+        ring = RingSeries("x")
+        for tick in range(5):
+            ring.append(tick * 100.0, float(tick))
+        # Anchor at t=200 -> delta = 4 - 2.
+        assert ring.delta_since(200.0) == pytest.approx(2.0)
+        # A window reaching past the ring falls back to the oldest.
+        assert ring.delta_since(-1_000.0) == pytest.approx(4.0)
+
+    def test_rate_per_s(self):
+        ring = RingSeries("x")
+        ring.append(0.0, 0.0)
+        ring.append(2_000.0, 10.0)
+        assert ring.rate_per_s() == pytest.approx(5.0)
+        # Windowed: only the last second's worth of growth.
+        ring.append(3_000.0, 40.0)
+        assert ring.rate_per_s(window_ms=1_000.0) == pytest.approx(30.0)
+
+    def test_rate_handles_equal_timestamps(self):
+        ring = RingSeries("x")
+        ring.append(5.0, 1.0)
+        ring.append(5.0, 2.0)
+        assert ring.rate_per_s() is None
+
+    def test_ewma_weights_recent_samples(self):
+        ring = RingSeries("x")
+        assert ring.ewma() is None
+        for tick, value in enumerate((0.0, 0.0, 0.0, 100.0)):
+            ring.append(float(tick), value)
+        smoothed = ring.ewma(alpha=0.5)
+        assert 0.0 < smoothed < 100.0
+        assert smoothed == pytest.approx(50.0)
+
+
+class TestMetricsSampler:
+    def test_samples_every_counter_by_default(self):
+        sampler = MetricsSampler()
+        PERF.events_run += 7
+        sampler.sample(100.0)
+        assert set(sampler.series) == set(PERF.snapshot())
+        assert sampler.series["events_run"].latest()[1] == 7
+
+    def test_sample_bumps_watch_samples(self):
+        sampler = MetricsSampler(counters=("events_run",))
+        sampler.sample(0.0)
+        sampler.sample(10.0)
+        assert PERF.watch_samples == 2
+
+    def test_histogram_p99_series(self):
+        sampler = MetricsSampler(counters=())
+        sampler.sample(0.0, latency={"rpc_rtt": {"p99_ms": 42.0},
+                                     "idle_op": {"p99_ms": None}})
+        assert "rpc_rtt_p99_ms" in sampler.series
+        assert "idle_op_p99_ms" not in sampler.series
+        assert sampler.series["rpc_rtt_p99_ms"].latest() == (0.0, 42.0)
+
+    def test_rising_picks_growing_counters(self):
+        sampler = MetricsSampler(counters=("events_run",
+                                           "events_cancelled"))
+        sampler.sample(0.0)
+        PERF.events_run += 50
+        sampler.sample(1_000.0)
+        rising = sampler.rising(["events_run", "events_cancelled",
+                                 "never_sampled"])
+        assert set(rising) == {"events_run"}
+        assert rising["events_run"] == pytest.approx(50.0)
+
+    def test_capacity_flows_to_series(self):
+        sampler = MetricsSampler(capacity=3, counters=("events_run",))
+        for tick in range(9):
+            sampler.sample(float(tick))
+        assert len(sampler.series["events_run"]) == 3
+
+    def test_default_capacity_sane(self):
+        assert RingSeries("x").capacity == DEFAULT_CAPACITY

@@ -143,3 +143,66 @@ def test_doctor_baseline_roundtrip(tmp_path, capsys):
     assert main(["doctor", "--seed", "2",
                  "--baseline", str(baseline)]) == 0
     assert "p99 within" in capsys.readouterr().out
+
+
+def test_watch_healthy_netsim_exits_zero(capsys):
+    assert main(["watch", "--seed", "2", "--max-sweeps", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "watching netsim demo world" in out
+    assert "watch complete: 3 sweeps, 0 edges, 0 open incident(s)" in out
+
+
+def test_watch_dead_host_drill_journals_one_incident(tmp_path, capsys):
+    import json
+
+    journal = tmp_path / "journal.jsonl"
+    code = main(["watch", "--seed", "2", "--inject", "dead-host",
+                 "--journal", str(journal),
+                 "--checks", "daemon-liveness"])
+    out = capsys.readouterr().out
+    assert code == 0, "drill recovers, so the watch must exit clean"
+    assert "drill: crashed ucbernie" in out
+    assert "drill: rebooted ucbernie" in out
+    assert "ONSET daemon-liveness (ucbernie) exit 10" in out
+    assert "CLEAR daemon-liveness (ucbernie) exit 0" in out
+    records = [json.loads(line) for line in
+               journal.read_text(encoding="utf-8").splitlines()]
+    assert records[0]["kind"] == "watch-start"
+    edges = [(r["check"], r["edge"]) for r in records
+             if r["kind"] == "incident"]
+    assert edges == [("daemon-liveness", "onset"),
+                     ("daemon-liveness", "clear")]
+
+
+def test_watch_unrecovered_incident_names_the_exit(capsys):
+    # Crash at sweep 2, but stop watching before the reboot sweep:
+    # the open daemon-liveness incident sets the exit code.
+    code = main(["watch", "--seed", "2", "--inject", "dead-host",
+                 "--max-sweeps", "4", "--checks", "daemon-liveness"])
+    assert code == 10
+    assert "1 open incident(s)" in capsys.readouterr().out
+
+
+def test_watch_then_incidents_roundtrip(tmp_path, capsys):
+    journal = tmp_path / "journal.jsonl"
+    main(["watch", "--seed", "2", "--inject", "dead-host",
+          "--journal", str(journal), "--checks", "daemon-liveness"])
+    capsys.readouterr()
+    assert main(["incidents", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "incident timeline" in out
+    assert "mean time to recovery" in out
+    assert "daemon-liveness" in out
+
+
+def test_incidents_json_mode(tmp_path, capsys):
+    import json
+
+    journal = tmp_path / "journal.jsonl"
+    main(["watch", "--seed", "2", "--inject", "dead-host",
+          "--journal", str(journal), "--checks", "daemon-liveness"])
+    capsys.readouterr()
+    assert main(["incidents", str(journal), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["mttr"]["daemon-liveness"]["onsets"] == 1
+    assert payload["mttr"]["daemon-liveness"]["mttr_ms"] > 0
