@@ -74,6 +74,17 @@ runs through:
     rest hanging off them, O(n) physical links.  The scale the lockstep
     sharding exists for; honours ``--shards``.
 
+``multitenant_50x24``
+    The multi-tenant claim: 50 users x 24 hosts (8 x 6 under --smoke)
+    under the open-loop lognormal workload of ``benchmarks.workloads``
+    (login -> create fan-out -> locate -> tool_call -> gather), run
+    twice — ``circuit_sharing`` on vs off.  Records per-op latency
+    SLOs (p50/p95/p99) for both modes plus the steady-state inter-host
+    connection counts: with sharing, co-located users' sibling
+    channels collapse onto one circuit per host pair (target >= 5x
+    fewer connections at full scale).  Harness-based; honours
+    ``--shards``.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.runner [--smoke]
@@ -134,6 +145,7 @@ _REPORTED = (
     "stream_timer_rearms",
     "tree_forwards", "tree_prunes", "tree_repairs",
     "locate_cache_hits", "locate_cache_stale",
+    "circuit_shares", "circuit_lanes_attached", "auth_cache_hits",
     "shard_windows", "cross_shard_msgs", "barrier_waits",
 )
 
@@ -621,6 +633,19 @@ def bench_locate_500(smoke: bool = False, shards: int = 1,
     return _bench_scenario(locate_scenario, kwargs, shards, check_identity)
 
 
+def bench_multitenant(smoke: bool = False, shards: int = 1,
+                      check_identity: bool = False) -> dict:
+    from .scenarios import multitenant_scenario
+
+    kwargs = dict(n_users=8 if smoke else 50,
+                  n_hosts=6 if smoke else 24,
+                  gateways=2 if smoke else 4,
+                  fanout=3 if smoke else 10,
+                  horizon_ms=20_000.0 if smoke else 120_000.0)
+    return _bench_scenario(multitenant_scenario, kwargs, shards,
+                           check_identity)
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -636,10 +661,12 @@ SCENARIOS = {
     "watch_steady": bench_watch_steady,
     "locate_200_hosts": bench_locate,
     "locate_500_hosts": bench_locate_500,
+    "multitenant_50x24": bench_multitenant,
 }
 
 #: Scenarios that run through the shard harness and honour --shards.
-_SHARDABLE = ("locate_200_hosts", "locate_500_hosts")
+_SHARDABLE = ("locate_200_hosts", "locate_500_hosts",
+              "multitenant_50x24")
 
 
 def _profiled(call):

@@ -210,3 +210,94 @@ def locate_scenario(harness, n_hosts: int = 200, mesh_locates: int = 2,
             per_locate["full_mesh"] / max(1.0, per_locate["sparse"]), 1)
     harness.end_measure()
     return result
+
+
+def _pool_of(world, name: str):
+    return getattr(world.hosts[name], "_circuit_pool", None)
+
+
+def _physical_links(harness, world, sharing: bool) -> int:
+    """Steady-state inter-host connections, counted once per circuit.
+
+    With sharing on, the physical connections are the pools' circuits;
+    with sharing off every authenticated sibling link is its own
+    connection (the per-host lambda sums that host's LPMs only, so the
+    read stays owned under sharding).
+    """
+    if sharing:
+        return harness.sum_hosts(
+            lambda name: 0 if _pool_of(world, name) is None
+            else _pool_of(world, name).open_circuit_count()) // 2
+    return harness.sum_hosts(
+        lambda name: sum(
+            len(lpm.transport.authenticated())
+            for (host, _user), lpm in world.lpms.items()
+            if host == name)) // 2
+
+
+def multitenant_scenario(harness, n_users: int = 50, n_hosts: int = 24,
+                         gateways: int = 4, fanout: int = 10,
+                         horizon_ms: float = 120_000.0,
+                         seed: int = 47) -> dict:
+    """M users x N hosts under the open-loop workload — shared circuits
+    vs one private circuit per user pair (``benchmarks.workloads``).
+
+    Runs the identical lognormal session schedule twice, with
+    ``circuit_sharing`` on and off, and reports per-op latency SLOs
+    plus the steady-state inter-host connection count of each mode.
+    The multi-tenancy claim is the ratio: co-located users' sibling
+    channels collapse onto one circuit per host pair.
+    """
+    from benchmarks.workloads import (build_multitenant_world,
+                                      merge_gathered, schedule_sessions,
+                                      slo_block)
+
+    modes = (("shared", True), ("private", False))
+    worlds = {}
+    for mode, sharing in modes:
+        world, names, users, homes = build_multitenant_world(
+            n_users, n_hosts, gateways, seed, sharing)
+        state = schedule_sessions(world, users, homes,
+                                  leaf_names=names[gateways:],
+                                  fanout=fanout, horizon_ms=horizon_ms,
+                                  seed=seed + 1)
+        worlds[mode] = (world, names, state)
+
+    harness.begin_measure()
+    result = {"n_users": n_users, "n_hosts": n_hosts,
+              "gateways": gateways, "fanout": fanout}
+    failed = 0
+    for mode, sharing in modes:
+        world, names, state = worlds[mode]
+        harness.attach(world.network, names[0])
+        harness.run_for(horizon_ms + DRAIN_MS)
+        # Open-loop arrivals have a heavy tail; top up in bounded slices
+        # until every session has reported done (or failed).
+        rounds = 0
+        while (harness.sum_hosts(lambda n: state.done.get(n, 0)) < n_users
+               and rounds < 60):
+            harness.run_for(30_000.0)
+            rounds += 1
+        completed = harness.sum_hosts(lambda n: state.done.get(n, 0))
+        assert completed == n_users, \
+            "%s: only %d/%d sessions finished" % (mode, completed, n_users)
+        failed += harness.sum_hosts(lambda n: state.failures.get(n, 0))
+        # Sessions leave their fan-out processes running, so the links
+        # counted here are the steady state a populated fleet holds.
+        result["links_%s" % mode] = _physical_links(harness, world,
+                                                    sharing)
+        if sharing:
+            result["lanes_shared"] = harness.sum_hosts(
+                lambda name: 0 if _pool_of(world, name) is None
+                else _pool_of(world, name).lane_count()) // 2
+        merged = merge_gathered(
+            harness.gather_hosts(lambda name: state.hist_state(name)))
+        result["slo_%s" % mode] = slo_block(merged)
+        result["sim_ms_%s" % mode] = round(harness.now, 3)
+        harness.detach()
+
+    result["failed_sessions"] = failed
+    result["link_reduction_x"] = round(
+        result["links_private"] / max(1, result["links_shared"]), 1)
+    harness.end_measure()
+    return result

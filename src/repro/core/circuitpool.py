@@ -1,0 +1,326 @@
+"""Shared inter-host circuits for multi-tenant deployments.
+
+The paper's PPM is strictly per-user: every user's LPM dials its own
+sibling circuits, so a fleet serving many co-located users pays
+O(users x host-pairs) physical connections, each with its own
+keepalive and link-loss detection.  With ``circuit_sharing=True`` a
+per-host :class:`CircuitPool` multiplexes instead (the MPD shape: one
+persistent daemon-level channel per host pair carrying many jobs'
+traffic): the first LPM to need ``(host_a, host_b)`` opens the
+physical circuit, later co-located LPMs attach a lightweight per-user
+*lane* riding the same endpoint, demultiplexed by ``Message.lane``.
+
+Division of labour:
+
+- **per lane** — HELLO authentication (each user still presents the
+  token its pmd issued), message dispatch, teardown via
+  ``MsgKind.LANE_CLOSE``;
+- **per circuit** — connection setup/keepalive, link-loss detection,
+  and byte transport.  When the physical circuit breaks, *every*
+  lane's ``on_close`` fires so each user's router drops routes through
+  the dead peer.
+
+A :class:`LaneEndpoint` honours the endpoint contract (``send``,
+``close``, ``open``, ``on_message``, ``on_close``, ``peer_name``,
+``local_name``, ``context``), so :class:`~repro.core.transport.
+SiblingTransport` uses lanes exactly like private circuits.  The pool
+is backend-neutral: it only needs a fabric (``connect``), a node
+(``listen``) and a host name, so the same class serves netsim and
+realnet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..perf import PERF
+from .messages import Message, MsgKind
+from .wire import message_size_bytes
+
+#: The well-known service every pool listens on.  One listener per
+#: host regardless of how many users' LPMs live there.
+POOL_SERVICE = "circuits"
+
+
+class LaneEndpoint:
+    """One user's lane on a shared circuit; endpoint-contract shaped."""
+
+    def __init__(self, circuit: "_Circuit", lane: str) -> None:
+        self.circuit = circuit
+        self.lane = lane
+        self.on_message: Optional[Callable] = None
+        self.on_close: Optional[Callable] = None
+        self.context = None
+        self._closed = False
+
+    @property
+    def open(self) -> bool:
+        return (not self._closed and self.circuit.endpoint is not None
+                and self.circuit.endpoint.open)
+
+    @property
+    def peer_name(self) -> str:
+        return self.circuit.peer
+
+    @property
+    def local_name(self) -> str:
+        return self.circuit.pool.host_name
+
+    def send(self, payload, nbytes: int = 0,
+             extra_delay_ms: float = 0.0) -> None:
+        if not self.open:
+            return
+        # Stamp the lane tag so the remote pool can demultiplex.  The
+        # transport stamps before sizing (so the tag's bytes are
+        # charged); this is the safety net for direct sends.
+        if isinstance(payload, Message) and payload.lane != self.lane:
+            payload.lane = self.lane
+        self.circuit.endpoint.send(payload, nbytes=nbytes,
+                                   extra_delay_ms=extra_delay_ms)
+
+    def close(self) -> None:
+        """Detach this lane; the circuit survives for its other lanes
+        and is torn down only when the last lane detaches."""
+        if self._closed:
+            return
+        self._closed = True
+        self.circuit.detach(self, notify_peer=True)
+
+    def __repr__(self) -> str:
+        return "LaneEndpoint(%s <-> %s, lane=%s, %s)" % (
+            self.local_name, self.peer_name, self.lane,
+            "open" if self.open else "closed")
+
+
+class _Circuit:
+    """One physical connection to a peer host, carrying many lanes."""
+
+    def __init__(self, pool: "CircuitPool", peer: str) -> None:
+        self.pool = pool
+        self.peer = peer
+        self.endpoint = None
+        self.established = False
+        self.failed = False
+        self.lanes: Dict[str, LaneEndpoint] = {}
+        #: ``(lane, on_established, on_failed)`` queued while dialing.
+        self.waiters: List[tuple] = []
+
+    @property
+    def open(self) -> bool:
+        return self.endpoint is not None and self.endpoint.open
+
+    # -- lifecycle ----------------------------------------------------
+
+    def adopt(self, endpoint) -> None:
+        """Bind the physical endpoint (dial completed or inbound
+        accept) and flush any attach waiters."""
+        self.endpoint = endpoint
+        self.established = True
+        endpoint.on_message = self._on_message
+        endpoint.on_close = self._on_close
+        waiters, self.waiters = self.waiters, []
+        for lane, on_established, _on_failed in waiters:
+            on_established(self._make_lane(lane))
+
+    def fail(self, reason: str) -> None:
+        self.failed = True
+        self.pool._drop_circuit(self)
+        waiters, self.waiters = self.waiters, []
+        for _lane, _on_established, on_failed in waiters:
+            if on_failed is not None:
+                on_failed(reason)
+
+    def _make_lane(self, lane: str) -> LaneEndpoint:
+        old = self.lanes.get(lane)
+        if old is not None:
+            # A re-attach for the same user supersedes the stale lane
+            # (e.g. the user's LPM exited and came back): mark the old
+            # one closed without notifying the peer.
+            old._closed = True
+        endpoint = LaneEndpoint(self, lane)
+        self.lanes[lane] = endpoint
+        PERF.circuit_lanes_attached += 1
+        return endpoint
+
+    def detach(self, lane_endpoint: LaneEndpoint,
+               notify_peer: bool) -> None:
+        current = self.lanes.get(lane_endpoint.lane)
+        if current is lane_endpoint:
+            del self.lanes[lane_endpoint.lane]
+        if not self.lanes and not self.waiters:
+            # Last lane out: tear down the physical circuit.  The
+            # orderly close (not a LANE_CLOSE, which would be dropped
+            # with the in-flight queue) is what tells the peer.
+            self.pool._drop_circuit(self)
+            if self.open:
+                self.endpoint.close()
+            return
+        if notify_peer and self.open:
+            notice = Message(kind=MsgKind.LANE_CLOSE, req_id=0,
+                             origin=self.pool.host_name,
+                             user=lane_endpoint.lane,
+                             lane=lane_endpoint.lane)
+            self.endpoint.send(notice,
+                               nbytes=message_size_bytes(notice))
+
+    # -- physical-endpoint callbacks ----------------------------------
+
+    def _on_message(self, message, _endpoint) -> None:
+        lane = getattr(message, "lane", None)
+        kind = getattr(message, "kind", None)
+        if lane is None:
+            return  # not lane traffic; nothing above us consumes it
+        endpoint = self.lanes.get(lane)
+        if kind is MsgKind.LANE_CLOSE:
+            if endpoint is not None:
+                del self.lanes[lane]
+                endpoint._closed = True
+                if endpoint.on_close is not None:
+                    endpoint.on_close("closed", endpoint)
+            if not self.lanes and not self.waiters:
+                self.pool._drop_circuit(self)
+                if self.open:
+                    self.endpoint.close()
+            return
+        if endpoint is not None:
+            if endpoint.on_message is not None:
+                endpoint.on_message(message, endpoint)
+            return
+        if kind is MsgKind.HELLO:
+            # A new lane introducing itself.  Hand the per-user HELLO
+            # payload to that user's registered transport, which
+            # authenticates the token exactly as it would a private
+            # circuit.
+            acceptor = self.pool.users.get(lane)
+            endpoint = self._make_lane(lane)
+            if acceptor is None:
+                endpoint.close()  # no such user here: refuse the lane
+                return
+            acceptor(endpoint, message.payload)
+            return
+        # Traffic for a lane that already detached: drop it.
+
+    def _on_close(self, reason: str, _endpoint) -> None:
+        """The physical circuit broke (or closed): every lane goes
+        down with it, each notifying its own transport so per-user
+        routes through the dead peer are invalidated."""
+        self.pool._drop_circuit(self)
+        lanes, self.lanes = self.lanes, {}
+        for endpoint in lanes.values():
+            endpoint._closed = True
+            if endpoint.on_close is not None:
+                endpoint.on_close(reason, endpoint)
+
+
+class CircuitPool:
+    """Per-host registry of shared circuits and the users riding them."""
+
+    def __init__(self, fabric, node, host_name: str) -> None:
+        self.fabric = fabric
+        self.node = node
+        self.host_name = host_name
+        #: peer host -> live circuit (dialing or established).
+        self.circuits: Dict[str, _Circuit] = {}
+        #: Inbound circuits accepted while a keyed one already existed
+        #: (crossing dials); they demultiplex independently.
+        self.extra_circuits: List[_Circuit] = []
+        #: user -> acceptor(lane_endpoint, hello_payload).
+        self.users: Dict[str, Callable] = {}
+
+    # -- shared-instance management -----------------------------------
+
+    @classmethod
+    def ensure(cls, carrier, fabric, node, host_name: str) -> "CircuitPool":
+        """Get or create the host's pool, hung off ``carrier`` (the
+        netsim Host or the realnet node — whatever outlives individual
+        LPMs), and (re-)register the well-known listener."""
+        pool = getattr(carrier, "_circuit_pool", None)
+        if pool is None or pool.node is not node:
+            pool = cls(fabric, node, host_name)
+            carrier._circuit_pool = pool
+        pool.ensure_listening()
+        return pool
+
+    def ensure_listening(self) -> None:
+        """Idempotent; also heals the listener after a host crash
+        cleared the node's service table."""
+        self.node.listen(POOL_SERVICE, self._accept)
+
+    def register_user(self, user: str, acceptor: Callable) -> None:
+        self.users[user] = acceptor
+
+    def unregister_user(self, user: str) -> None:
+        self.users.pop(user, None)
+
+    # -- inventory (benchmarks, ops) ----------------------------------
+
+    def open_circuit_count(self) -> int:
+        keyed = sum(1 for circuit in self.circuits.values()
+                    if circuit.open)
+        return keyed + sum(1 for circuit in self.extra_circuits
+                           if circuit.open)
+
+    def lane_count(self) -> int:
+        total = sum(len(circuit.lanes)
+                    for circuit in self.circuits.values())
+        return total + sum(len(circuit.lanes)
+                           for circuit in self.extra_circuits)
+
+    # -- attaching lanes ----------------------------------------------
+
+    def attach(self, peer: str, user: str, on_established: Callable,
+               on_failed: Optional[Callable] = None,
+               setup_ms: float = 0.0,
+               detect_ms: Optional[float] = None) -> None:
+        """Get-or-dial the circuit to ``peer`` and deliver a fresh
+        :class:`LaneEndpoint` to ``on_established``.  The first
+        attacher's ``setup_ms``/``detect_ms`` govern the dial."""
+        circuit = self.circuits.get(peer)
+        if circuit is not None and not circuit.open \
+                and circuit.established:
+            # Stale entry from a broken circuit: replace it.
+            self._drop_circuit(circuit)
+            circuit = None
+        if circuit is not None:
+            PERF.circuit_shares += 1
+            if circuit.established:
+                on_established(circuit._make_lane(user))
+            else:
+                circuit.waiters.append((user, on_established, on_failed))
+            return
+        circuit = _Circuit(self, peer)
+        circuit.waiters.append((user, on_established, on_failed))
+        self.circuits[peer] = circuit
+
+        kwargs = {}
+        if detect_ms is not None:
+            kwargs["detect_ms"] = detect_ms
+        self.fabric.connect(
+            self.host_name, peer, POOL_SERVICE,
+            payload={"from_host": self.host_name},
+            setup_ms=setup_ms,
+            on_established=circuit.adopt,
+            on_failed=circuit.fail,
+            **kwargs)
+
+    # -- server side --------------------------------------------------
+
+    def _accept(self, endpoint, payload) -> None:
+        if not isinstance(payload, dict) or "from_host" not in payload:
+            endpoint.close()
+            return
+        peer = payload["from_host"]
+        circuit = _Circuit(self, peer)
+        circuit.adopt(endpoint)
+        if peer in self.circuits:
+            # Crossing dials: both sides dialed at once.  Keep both;
+            # each demultiplexes its own endpoint.
+            self.extra_circuits.append(circuit)
+        else:
+            self.circuits[peer] = circuit
+
+    def _drop_circuit(self, circuit: _Circuit) -> None:
+        if self.circuits.get(circuit.peer) is circuit:
+            del self.circuits[circuit.peer]
+        elif circuit in self.extra_circuits:
+            self.extra_circuits.remove(circuit)

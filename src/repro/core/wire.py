@@ -68,6 +68,10 @@ def encode(message: Message) -> bytes:
     # therefore identical simulated byte charges — to pre-span builds.
     if message.trace is not None:
         fields["trace"] = message.trace
+    # Likewise the lane tag: only shared-circuit traffic carries it, so
+    # single-tenant runs keep byte-identical encodings and byte charges.
+    if message.lane is not None:
+        fields["lane"] = message.lane
     try:
         body = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     except (TypeError, ValueError) as exc:
@@ -87,7 +91,7 @@ def decode(data: bytes) -> Message:
                    reply_to=raw["reply_to"],
                    broadcast=_broadcast_from_dict(raw["broadcast"]),
                    final_dest=raw["final_dest"],
-                   trace=raw.get("trace"))
+                   trace=raw.get("trace"), lane=raw.get("lane"))
 
 
 def message_size_bytes(message: Message) -> int:

@@ -48,19 +48,45 @@ class NetworkNode:
         #: callable returning the host's current load average; installed
         #: by the unixsim host so the network can expose it to cost hooks.
         self.load_fn: Callable[[], float] = lambda: 0.0
+        #: back-reference set by :meth:`Network.add_node`, so dynamic
+        #: service registrations can be advertised across shard workers.
+        self.sim: Optional[Simulator] = None
 
     def listen(self, service: str, acceptor: Callable) -> None:
-        """Register an acceptor for a named service."""
+        """Register an acceptor for a named service.
+
+        Under lockstep sharding a registration made mid-run (an LPM
+        spawned by a login wave advertises its accept service) exists
+        only on the owning worker; the other workers receive a presence
+        *marker* at the next barrier so their connect-time service
+        checks reach the same verdict.  The marker is never invoked —
+        the acceptor half of a cross-shard connect executes on the
+        owning worker, against the real registration.
+        """
         self.services[service] = acceptor
+        sim = self.sim
+        if sim is not None and sim.shard is not None:
+            sim.shard.ship_listen(self.name, service, sim.now_ms)
 
     def unlisten(self, service: str) -> None:
         """Remove a service registration; unknown names are ignored."""
         self.services.pop(service, None)
+        sim = self.sim
+        if sim is not None and sim.shard is not None:
+            sim.shard.ship_unlisten(self.name, service, sim.now_ms)
 
     def __repr__(self) -> str:
         state = "up" if self.up else "DOWN"
         return "NetworkNode(%s, %s, %s)" % (self.name,
                                             self.host_class.value, state)
+
+
+def remote_service_marker(endpoint, payload) -> None:  # pragma: no cover
+    """Placeholder acceptor for a service registered on another shard
+    worker.  Its presence makes connect-time service checks succeed; the
+    real acceptor runs on the owning worker, so invoking the marker is a
+    sharding-protocol violation."""
+    raise SimulationError("remote service marker invoked as an acceptor")
 
 
 class NetworkStats:
@@ -153,6 +179,7 @@ class Network:
         if name in self.nodes:
             raise SimulationError("duplicate host name %r" % (name,))
         node = NetworkNode(name, host_class)
+        node.sim = self.sim
         self.nodes[name] = node
         return node
 

@@ -52,6 +52,7 @@ from ..errors import SimulationError
 from ..perf import PERF
 from . import stream as _stream
 from .network import Network
+from .network import remote_service_marker as _remote_service_marker
 
 #: Counters whose values legitimately depend on the shard count and are
 #: excluded from 1-shard vs K-shard identity comparison: the shard
@@ -203,6 +204,21 @@ class ShardContext:
                    ("connect", gid, src, dst, service, payload,
                     complete_at, detect_ms))
 
+    def ship_listen(self, host: str, service: str, now_ms: float) -> None:
+        """Advertise a mid-run service registration to every other
+        worker (applied at the next barrier as a presence marker)."""
+        for dst_shard in range(self.plan.n_shards):
+            if dst_shard != self.index:
+                self._ship(dst_shard, now_ms, host,
+                           ("listen", host, service))
+
+    def ship_unlisten(self, host: str, service: str,
+                      now_ms: float) -> None:
+        for dst_shard in range(self.plan.n_shards):
+            if dst_shard != self.index:
+                self._ship(dst_shard, now_ms, host,
+                           ("unlisten", host, service))
+
     def ship_teardown(self, gid, reason: str, broke: bool,
                       a_host: str, b_host: str, now_ms: float) -> None:
         targets = {self.plan.shard_of(a_host), self.plan.shard_of(b_host)}
@@ -253,6 +269,15 @@ class ShardContext:
                 _stream.apply_remote_teardown(network, payload[1],
                                               payload[2], payload[3],
                                               key[0])
+            elif kind == "listen":
+                # Only mark absent services: when the registration event
+                # was global (replicated code ran it here too) the real
+                # acceptor is already installed and must stay.
+                node = network.nodes[payload[1]]
+                if payload[2] not in node.services:
+                    node.services[payload[2]] = _remote_service_marker
+            elif kind == "unlisten":
+                network.nodes[payload[1]].services.pop(payload[2], None)
             elif kind == "settle":
                 self._apply_settle(network, payload[1], payload[2], key[0])
             else:  # pragma: no cover - protocol invariant

@@ -62,6 +62,7 @@ from .triggers import (
     dedup_cache_blowup_trigger,
     host_down_trigger,
     install_ops_triggers,
+    latency_rising_trigger,
     p99_regression_trigger,
     retransmission_storm_trigger,
     tree_repair_storm_trigger,
@@ -106,6 +107,7 @@ __all__ = [
     "dedup_cache_blowup_trigger",
     "host_down_trigger",
     "install_ops_triggers",
+    "latency_rising_trigger",
     "p99_regression_trigger",
     "retransmission_storm_trigger",
     "tree_repair_storm_trigger",

@@ -28,6 +28,13 @@ module ships the conditions an *operator* wants armed by default:
     check *onset* edge — a health check that passed last sweep fails
     now.  Edge-triggered by construction: the watch loop records one
     ``WATCH_EDGE`` event per transition, never per poll.
+``ops:latency-rising``
+    An operation's sampled p99 (the ``<op>_p99_ms`` ring series the
+    watch loop feeds into its :class:`~repro.perf.timeseries.
+    MetricsSampler`) shows a positive trend over the window —
+    latency is still *within* SLO but drifting toward the cliff, the
+    multi-tenant early-warning a hard p99 threshold fires too late
+    for.  Requires a ``sampler``; see :func:`install_ops_triggers`.
 
 Each firing appends an :class:`~repro.ops.checks.OpsAlert` to the
 shared alert log, which ``repro doctor`` surfaces through the
@@ -207,6 +214,36 @@ def watch_onset_trigger(alerts: List[OpsAlert]) -> Trigger:
         predicate=predicate)
 
 
+def latency_rising_trigger(sampler, alerts: List[OpsAlert],
+                           op: str = "rpc_rtt",
+                           window_ms: float = 60_000.0,
+                           min_rate_ms_per_s: float = 1.0) -> Trigger:
+    """Fire when ``op``'s sampled p99 trends upward across the window.
+
+    Evaluated against :meth:`~repro.perf.timeseries.MetricsSampler.
+    rising` over the ``<op>_p99_ms`` ring series, so it needs at least
+    two watch sweeps' worth of samples before it can fire; the rate
+    floor keeps bucket-granularity wobble from latching an alert.
+    """
+    series = "%s_p99_ms" % (op,)
+    state = {"rate": 0.0}
+
+    def predicate(event, history) -> bool:
+        rate = sampler.rising((series,), window_ms).get(series)
+        if rate is None or rate < min_rate_ms_per_s:
+            return False
+        state["rate"] = rate
+        return True
+
+    return Trigger(
+        name="ops:latency-rising",
+        action=_alerting(
+            "ops:latency-rising", alerts,
+            lambda: "%s p99 rising %.2f ms/s over %.0fms window"
+            % (op, state["rate"], window_ms)),
+        predicate=predicate, once=True)
+
+
 def install_ops_triggers(engine,
                          alerts: Optional[List[OpsAlert]] = None,
                          summary_fn: Optional[Callable] = None,
@@ -218,7 +255,10 @@ def install_ops_triggers(engine,
                          flap_window_ms: float = 60_000.0,
                          flap_threshold: int = 3,
                          dedup_threshold: int = 10_000,
-                         retransmit_threshold: int = 25
+                         retransmit_threshold: int = 25,
+                         sampler=None,
+                         rising_window_ms: float = 60_000.0,
+                         rising_min_rate_ms_per_s: float = 1.0
                          ) -> List[OpsAlert]:
     """Arm the standard operational set on a trigger engine.
 
@@ -227,7 +267,8 @@ def install_ops_triggers(engine,
     ``trigger-alerts`` check sees the firings.  The p99 trigger is
     installed only when both a ``summary_fn`` and a baseline p99 for
     ``p99_op`` are available; the dedup trigger only with a
-    ``dedup_size_fn``.
+    ``dedup_size_fn``; the latency-rising trigger only with a
+    ``sampler`` (the one the watch loop feeds).
 
     Idempotent per engine: a trigger whose name is already armed is
     skipped, so arming twice (a session helper *and* a watch loop,
@@ -255,6 +296,10 @@ def install_ops_triggers(engine,
             dedup_size_fn, log, threshold=dedup_threshold))
     arm(retransmission_storm_trigger(
         log, threshold=retransmit_threshold))
+    if sampler is not None:
+        arm(latency_rising_trigger(
+            sampler, log, op=p99_op, window_ms=rising_window_ms,
+            min_rate_ms_per_s=rising_min_rate_ms_per_s))
     arm(host_down_trigger(log))
     arm(watch_onset_trigger(log))
     return log

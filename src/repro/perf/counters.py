@@ -112,6 +112,22 @@ Cache-first LOCATE (``repro.core.lpm`` / ``repro.core.router``):
     Cached-route LOCATE probes that failed (stale route or moved
     process), forcing the broadcast-flood fallback.
 
+Shared circuits (``repro.core.circuitpool``):
+
+``circuit_shares``
+    Lane attachments that reused an existing (or in-flight) physical
+    circuit instead of dialing a new one — the multi-tenant link win.
+``circuit_lanes_attached``
+    Per-user lane endpoints created on shared circuits (both the
+    dialing and the accepting side count theirs).
+
+pmd authentication (``repro.unixsim.pmd``):
+
+``auth_cache_hits``
+    Bootstrap authentications answered from the incarnation-keyed
+    cache instead of re-running the rhosts/registry checks — the
+    login-wave hot path.
+
 Lockstep sharding (``repro.netsim.shard``):
 
 ``shard_windows``
@@ -214,6 +230,9 @@ _COUNTERS = (
     "tree_repairs",
     "locate_cache_hits",
     "locate_cache_stale",
+    "circuit_shares",
+    "circuit_lanes_attached",
+    "auth_cache_hits",
     "shard_windows",
     "cross_shard_msgs",
     "barrier_waits",

@@ -64,12 +64,17 @@ def _argv_for(payload: dict) -> List[str]:
 class RealLpm:
     """One user's LPM on one serve process."""
 
-    def __init__(self, fabric, node, user: str, token: str) -> None:
+    def __init__(self, fabric, node, user: str, token: str,
+                 pool=None) -> None:
         self.fabric = fabric
         self.node = node
         self.name = node.host_name
         self.user = user
         self.token = token
+        #: Shared :class:`~repro.core.circuitpool.CircuitPool` when the
+        #: serve process runs with circuit sharing; sibling channels
+        #: then ride per-user lanes on pooled TCP connections.
+        self.pool = pool
         self.running = True
         self.secret = os.urandom(8).hex()
         self.ccs_host = self.name
@@ -83,6 +88,8 @@ class RealLpm:
         self._pending: Dict[int, tuple] = {}
         self._req_counter = 0
         self.tools: List = []
+        if pool is not None:
+            pool.register_user(user, self._accept_lane)
 
     # ------------------------------------------------------------------
     # Accepting connections (Figure 4's accept socket)
@@ -97,24 +104,28 @@ class RealLpm:
             endpoint.on_close = self._tool_on_close
             return
         if role == "sibling":
-            # Channel authentication at channel-creation time
-            # (section 3): the pmd-issued token proves the trusted
-            # introduction.
-            if payload.get("token") != self.token or \
-                    payload.get("user") != self.user:
-                endpoint.close()
-                return
-            peer = payload.get("from_host", endpoint.peer_name)
-            self._register_sibling(peer, endpoint)
-            ack = Message(kind=MsgKind.HELLO_ACK,
-                          req_id=self._next_req_id(),
-                          origin=self.name, user=self.user,
-                          payload={"secret": self.secret,
-                                   "ccs_host": self.ccs_host,
-                                   "known": sorted(self.siblings)})
-            endpoint.send(ack, nbytes=message_size_bytes(ack))
+            self._accept_lane(endpoint, payload)
             return
         endpoint.close()
+
+    def _accept_lane(self, endpoint, payload) -> None:
+        """Authenticate a sibling channel (private circuit or pooled
+        lane — the handshake is identical) and acknowledge it."""
+        # Channel authentication at channel-creation time (section 3):
+        # the pmd-issued token proves the trusted introduction.
+        if payload.get("token") != self.token or \
+                payload.get("user") != self.user:
+            endpoint.close()
+            return
+        peer = payload.get("from_host", endpoint.peer_name)
+        self._register_sibling(peer, endpoint)
+        ack = Message(kind=MsgKind.HELLO_ACK,
+                      req_id=self._next_req_id(),
+                      origin=self.name, user=self.user,
+                      payload={"secret": self.secret,
+                               "ccs_host": self.ccs_host,
+                               "known": sorted(self.siblings)})
+        endpoint.send(ack, nbytes=message_size_bytes(ack))
 
     def _register_sibling(self, peer: str, endpoint) -> None:
         old = self.siblings.get(peer)
@@ -171,6 +182,21 @@ class RealLpm:
                  "from_host": self.name, "token": bootstrap["token"],
                  "secret": self.secret, "ccs_host": self.ccs_host}
 
+        if self.pool is not None:
+            def lane_ready(endpoint) -> None:
+                self._register_sibling(peer, endpoint)
+                endpoint.context = {"await_ack": done}
+                greeting = Message(kind=MsgKind.HELLO,
+                                   req_id=self._next_req_id(),
+                                   origin=self.name, user=self.user,
+                                   payload=hello)
+                endpoint.send(greeting,
+                              nbytes=message_size_bytes(greeting))
+
+            self.pool.attach(peer, self.user, on_established=lane_ready,
+                             on_failed=lambda reason: done.resolve(None))
+            return
+
         def established(endpoint) -> None:
             self._register_sibling(peer, endpoint)
             endpoint.context = {"await_ack": done}
@@ -212,6 +238,12 @@ class RealLpm:
             handler(message, endpoint)
 
     def _sibling_on_close(self, reason: str, endpoint) -> None:
+        # A channel refused before its HELLO_ACK must still fail the
+        # pending ensure_sibling (idempotent if already resolved).
+        context = getattr(endpoint, "context", None) or {}
+        waiter = context.get("await_ack")
+        if waiter is not None:
+            waiter.resolve(None)
         for peer, known in list(self.siblings.items()):
             if known is endpoint:
                 del self.siblings[peer]
@@ -487,4 +519,6 @@ class RealLpm:
         for endpoint in list(self.siblings.values()):
             endpoint.close()
         self.siblings.clear()
+        if self.pool is not None:
+            self.pool.unregister_user(self.user)
         self.backend.shutdown()

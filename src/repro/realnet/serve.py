@@ -16,6 +16,7 @@ address lingers for the next run.
 
 from __future__ import annotations
 
+import os
 import signal
 import sys
 from typing import Optional
@@ -30,7 +31,8 @@ def serve_host(host_name: str, registry_path: str,
                bind_address: str = "127.0.0.1",
                budget_s: Optional[float] = None,
                trace_spans: bool = False,
-               ready_line: bool = True) -> int:
+               ready_line: bool = True,
+               share_circuits: Optional[bool] = None) -> int:
     """Run one real host until signalled or out of budget.
 
     Returns a process exit status (0 on a clean run).  When
@@ -38,13 +40,15 @@ def serve_host(host_name: str, registry_path: str,
     once the listener is bound — launchers wait on that line rather
     than polling the registry.
     """
+    if share_circuits is None:
+        share_circuits = os.environ.get("REPRO_CIRCUIT_SHARING") == "1"
     registry = HostRegistry(registry_path)
     fabric = AsyncioFabric(registry, local_host=host_name)
     if trace_spans:
         fabric.enable_span_tracing()
     node = RealNode(fabric, host_name, registry,
                     bind_address=bind_address)
-    pmd = RealPmd(fabric, node)
+    pmd = RealPmd(fabric, node, share_circuits=share_circuits)
     node.start()
     if ready_line:
         print("READY %s %d" % (host_name, node.port), flush=True)
@@ -84,11 +88,17 @@ def main(argv=None) -> int:
                         help="exit after this many wall seconds")
     parser.add_argument("--trace-spans", action="store_true",
                         help="enable span tracing in this process")
+    parser.add_argument("--share-circuits", action="store_true",
+                        default=None,
+                        help="multiplex all users' sibling channels to "
+                             "a peer host over one shared TCP circuit "
+                             "(default: on when REPRO_CIRCUIT_SHARING=1)")
     options = parser.parse_args(argv)
     return serve_host(options.host, options.registry,
                       bind_address=options.bind,
                       budget_s=options.budget_s,
-                      trace_spans=options.trace_spans)
+                      trace_spans=options.trace_spans,
+                      share_circuits=options.share_circuits)
 
 
 if __name__ == "__main__":

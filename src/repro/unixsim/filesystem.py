@@ -16,9 +16,13 @@ class SimFilesystem:
 
     def __init__(self) -> None:
         self._files: Dict[str, str] = {}
+        #: Bumped on every mutation; caches keyed on filesystem content
+        #: (the pmd auth cache) fold this into their incarnation key.
+        self.version = 0
 
     def write(self, path: str, content: str) -> None:
         self._files[path] = content
+        self.version += 1
 
     def read(self, path: str) -> Optional[str]:
         return self._files.get(path)
@@ -27,7 +31,8 @@ class SimFilesystem:
         return path in self._files
 
     def remove(self, path: str) -> None:
-        self._files.pop(path, None)
+        if self._files.pop(path, None) is not None:
+            self.version += 1
 
     def paths(self) -> List[str]:
         return sorted(self._files)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import AuthenticationError
+from ..perf import PERF
 from ..tracing.events import TraceEventType
 from ..util import Deferred
 from .process import ProcState
@@ -61,6 +62,15 @@ class ProcessManagerDaemon:
         self._registry: Dict[str, LpmRecord] = {}
         self.creations = 0
         self.lookups = 0
+        #: Positive-result authentication cache, ``(user, origin_host,
+        #: origin_user) -> incarnation``.  A login wave dials every
+        #: sibling pair through this daemon; without the cache each
+        #: dial re-reads ``.rhosts`` and re-compares password files.
+        #: The incarnation key (local fs + password-file versions, plus
+        #: the origin host's password-file version) invalidates the
+        #: entry the moment any input to the decision can have changed.
+        #: In-memory only: it dies with the daemon, like the registry.
+        self._auth_cache: Dict[tuple, tuple] = {}
         if self.stable_storage:
             self._reload_registry()
 
@@ -147,8 +157,26 @@ class ProcessManagerDaemon:
     # exactly as in the paper)
     # ------------------------------------------------------------------
 
+    def _auth_incarnation(self, origin_host: str) -> tuple:
+        """Versions of everything :meth:`_authenticate` consults."""
+        origin = self.host.world.hosts.get(origin_host)
+        return (self.host.fs.version, self.host.users.version,
+                None if origin is None else origin.users.version)
+
     def _authenticate(self, user: str, origin_host: str,
                       origin_user: str) -> None:
+        key = (user, origin_host, origin_user)
+        incarnation = self._auth_incarnation(origin_host)
+        if self._auth_cache.get(key) == incarnation:
+            PERF.auth_cache_hits += 1
+            return
+        self._authenticate_uncached(user, origin_host, origin_user)
+        # Only positive verdicts are memoised; failures stay cheap to
+        # retry and must never mask a just-granted permission.
+        self._auth_cache[key] = incarnation
+
+    def _authenticate_uncached(self, user: str, origin_host: str,
+                               origin_user: str) -> None:
         account = self.host.users.lookup(user)
         if account is None:
             raise AuthenticationError(

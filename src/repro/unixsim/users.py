@@ -44,9 +44,13 @@ class UserRegistry:
 
     def __init__(self) -> None:
         self._by_name: Dict[str, UserAccount] = {}
+        #: Bumped on every password-file change; part of the pmd auth
+        #: cache's incarnation key.
+        self.version = 0
 
     def add(self, account: UserAccount) -> None:
         self._by_name[account.name] = account
+        self.version += 1
 
     def lookup(self, name: str) -> Optional[UserAccount]:
         return self._by_name.get(name)

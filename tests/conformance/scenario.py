@@ -74,3 +74,56 @@ def run_scenario(client, hosts: Sequence[str]) -> Tuple[List, List]:
     client.close()
     journal.append(("close", True))
     return journal, table
+
+
+def run_shared_scenario(client_a, client_b,
+                        hosts: Sequence[str]) -> List:
+    """Two co-located users over one (shared) circuit; one journal.
+
+    The interleaving is fixed — connect a, connect b, then each step
+    for a before b — so the journal is deterministic on any backend.
+    Every fact recorded is backend-independent: reply flags, hosts,
+    and the isolation check that neither user's snapshot contains the
+    other's process.
+    """
+    home, away = hosts[0], hosts[-1]
+    journal: List = []
+
+    client_a.connect()
+    client_b.connect()
+    journal.append(("connect", "a", True))
+    journal.append(("connect", "b", True))
+
+    for label, client in (("a", client_a), ("b", client_b)):
+        ping = client.ping()
+        journal.append(("tool_ping", label, bool(ping["ok"]),
+                        ping["host"]))
+
+    created = {}
+    for label, client in (("a", client_a), ("b", client_b)):
+        gpid = client.create_process("worker", host=away,
+                                     program=sleeper_spec(60_000.0))
+        created[label] = gpid
+        journal.append(("tool_create", label, gpid.host == away))
+
+    for label, client in (("a", client_a), ("b", client_b)):
+        located = client.locate(created[label])
+        journal.append(("tool_locate", label, bool(located["ok"]),
+                        bool(located["found"]), located["host"]))
+
+    forest_a = client_a.snapshot(prune=False)
+    forest_b = client_b.snapshot(prune=False)
+    journal.append(("isolated",
+                    created["a"] in forest_a.records
+                    and created["b"] not in forest_a.records,
+                    created["b"] in forest_b.records
+                    and created["a"] not in forest_b.records))
+
+    for label, client in (("a", client_a), ("b", client_b)):
+        journal.append(("tool_control", label, "kill",
+                        bool(client.kill(created[label])["ok"])))
+
+    client_a.close()
+    client_b.close()
+    journal.append(("close", True))
+    return journal

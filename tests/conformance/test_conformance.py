@@ -16,7 +16,7 @@ import pytest
 
 from repro import HostClass, PPMClient, World, install
 
-from .scenario import HOSTS, run_scenario
+from .scenario import HOSTS, run_scenario, run_shared_scenario
 
 
 def _real_backend_available() -> bool:
@@ -98,3 +98,78 @@ def test_backends_agree_end_to_end():
     real_journal, real_table = run_on_realnet()
     assert sim_journal == real_journal
     assert sim_table == real_table
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant mode: two co-located users over a shared circuit
+# ----------------------------------------------------------------------
+
+def run_shared_on_netsim():
+    from repro import PPMConfig
+
+    world = World(seed=11, config=PPMConfig(circuit_sharing=True))
+    for name, host_class in zip(HOSTS, (HostClass.VAX_780,
+                                        HostClass.VAX_750,
+                                        HostClass.SUN_2)):
+        world.add_host(name, host_class)
+    world.ethernet()
+    world.add_user("lfc", 1001)
+    world.add_user("ramon", 1002)
+    install(world)
+    journal = run_shared_scenario(PPMClient(world, "lfc", HOSTS[0]),
+                                  PPMClient(world, "ramon", HOSTS[0]),
+                                  HOSTS)
+    # Netsim lets us see inside: the two users' sibling channels to
+    # gamma really rode one physical circuit as two lanes.
+    pool = getattr(world.host(HOSTS[0]), "_circuit_pool", None)
+    assert pool is not None
+    return journal
+
+
+def run_shared_on_realnet():
+    import os
+
+    from repro.realnet.session import RealSession, launch_hosts
+
+    os.environ["REPRO_CIRCUIT_SHARING"] = "1"
+    try:
+        with launch_hosts(HOSTS, budget_s=120.0) as fleet:
+            with RealSession(fleet.registry_path, "lfc",
+                             HOSTS[0]) as a, \
+                    RealSession(fleet.registry_path, "ramon",
+                                HOSTS[0]) as b:
+                return run_shared_scenario(a.client, b.client, HOSTS)
+    finally:
+        del os.environ["REPRO_CIRCUIT_SHARING"]
+
+
+EXPECTED_SHARED_JOURNAL = [
+    ("connect", "a", True),
+    ("connect", "b", True),
+    ("tool_ping", "a", True, "alpha"),
+    ("tool_ping", "b", True, "alpha"),
+    ("tool_create", "a", True),
+    ("tool_create", "b", True),
+    ("tool_locate", "a", True, True, "gamma"),
+    ("tool_locate", "b", True, True, "gamma"),
+    ("isolated", True, True),
+    ("tool_control", "a", "kill", True),
+    ("tool_control", "b", "kill", True),
+    ("close", True),
+]
+
+
+def test_netsim_runs_the_shared_scenario():
+    assert run_shared_on_netsim() == EXPECTED_SHARED_JOURNAL
+
+
+@needs_real
+def test_realnet_runs_the_shared_scenario():
+    assert run_shared_on_realnet() == EXPECTED_SHARED_JOURNAL
+
+
+@needs_real
+def test_backends_agree_on_shared_circuits():
+    """A two-user shared-circuit session produces identical journals
+    on the simulated and the real TCP backend."""
+    assert run_shared_on_netsim() == run_shared_on_realnet()

@@ -1,0 +1,210 @@
+"""Shared inter-host circuits (``circuit_sharing=True``).
+
+Multi-tenant mode: co-located users' sibling channels to one peer host
+multiplex over a single physical circuit as per-user *lanes*
+(``repro.core.circuitpool``), demultiplexed by ``Message.lane``.  The
+tests pin the sharing itself, per-lane HELLO authentication, refcounted
+teardown, the break fan-out regression (every lane's router must hear
+about a broken shared circuit), and the wire-format guarantee that
+single-tenant runs stay byte-identical.
+"""
+
+import pytest
+
+from repro import PersonalProcessManager, PPMConfig, spinner_spec, \
+    worker_spec
+from repro.core.circuitpool import CircuitPool, POOL_SERVICE
+from repro.core.messages import Message, MsgKind
+from repro.core.wire import decode, encode, message_size_bytes
+from repro.perf import PERF
+
+from .conftest import build_world, lpm_of
+
+
+def pool_of(world, host):
+    return getattr(world.host(host), "_circuit_pool", None)
+
+
+@pytest.fixture
+def pooled():
+    """Two users homed on alpha with circuit sharing on."""
+    world = build_world(config=PPMConfig(circuit_sharing=True))
+    lfc = PersonalProcessManager(world, "lfc", "alpha",
+                                 recovery_hosts=["alpha"])
+    lfc.start()
+    world.write_recovery_file("ramon", ["alpha"])
+    ramon = PersonalProcessManager(world, "ramon", "alpha")
+    ramon.start()
+    return world, lfc, ramon
+
+
+class TestSharing:
+    def test_colocated_users_share_one_physical_circuit(self, pooled):
+        world, lfc, ramon = pooled
+        shares_before = PERF.circuit_shares
+        mine = lfc.create_process("mine", host="beta",
+                                  program=spinner_spec(None))
+        theirs = ramon.create_process("theirs", host="beta",
+                                      program=spinner_spec(None))
+        for host in ("alpha", "beta"):
+            pool = pool_of(world, host)
+            assert pool.open_circuit_count() == 1
+            assert pool.lane_count() == 2
+        # The second user attached to the circuit the first one opened.
+        assert PERF.circuit_shares > shares_before
+        # Both users' transports see an authenticated sibling link.
+        assert "beta" in lpm_of(world, "alpha", "lfc").transport \
+            .authenticated()
+        assert "beta" in lpm_of(world, "alpha", "ramon").transport \
+            .authenticated()
+        # Isolation holds across the shared wire.
+        lfc_forest = lfc.snapshot()
+        ramon_forest = ramon.snapshot()
+        assert mine in lfc_forest and theirs not in lfc_forest
+        assert theirs in ramon_forest and mine not in ramon_forest
+
+    def test_sharing_off_keeps_private_circuits(self):
+        world = build_world()  # default config: circuit_sharing=False
+        lfc = PersonalProcessManager(world, "lfc", "alpha",
+                                     recovery_hosts=["alpha"])
+        lfc.start()
+        lfc.create_process("job", host="beta", program=spinner_spec(None))
+        assert pool_of(world, "alpha") is None
+        assert POOL_SERVICE not in world.host("alpha").node.services
+
+    def test_lanes_counted_per_user(self, pooled):
+        world, lfc, ramon = pooled
+        lanes_before = PERF.circuit_lanes_attached
+        lfc.create_process("a", host="beta", program=spinner_spec(None))
+        ramon.create_process("b", host="beta", program=spinner_spec(None))
+        # Two users x two ends of the circuit.
+        assert PERF.circuit_lanes_attached - lanes_before == 4
+
+
+class TestLaneAuth:
+    def test_wrong_token_lane_is_refused(self, pooled):
+        world, lfc, ramon = pooled
+        lfc.create_process("job", host="beta", program=spinner_spec(None))
+        # A pool on gamma (no LPM there) dials beta and presents a lane
+        # HELLO for user lfc with a bogus token: the per-lane
+        # authentication must refuse it without touching lfc's real
+        # lane between alpha and beta.
+        gamma = world.host("gamma")
+        pool = CircuitPool.ensure(gamma, world.fabric, gamma.node, "gamma")
+        lanes = []
+        pool.attach("beta", "lfc", on_established=lanes.append)
+        world.run_for(5_000.0)
+        (lane,) = lanes
+        hello = Message(kind=MsgKind.HELLO, req_id=1, origin="gamma",
+                        user="lfc",
+                        payload={"from_host": "gamma", "user": "lfc",
+                                 "token": "forged"})
+        lane.send(hello, nbytes=message_size_bytes(hello))
+        world.run_for(5_000.0)
+        assert not lane.open
+        assert "gamma" not in lpm_of(world, "beta", "lfc").transport \
+            .authenticated()
+        assert "beta" in lpm_of(world, "alpha", "lfc").transport \
+            .authenticated()
+
+    def test_unknown_user_lane_is_refused(self, pooled):
+        world, lfc, ramon = pooled
+        lfc.create_process("job", host="beta", program=spinner_spec(None))
+        pool = pool_of(world, "alpha")
+        lanes = []
+        pool.attach("beta", "mallory", on_established=lanes.append)
+        world.run_for(1_000.0)
+        (lane,) = lanes
+        hello = Message(kind=MsgKind.HELLO, req_id=1, origin="alpha",
+                        user="mallory",
+                        payload={"from_host": "alpha", "user": "mallory",
+                                 "token": "whatever"})
+        lane.send(hello, nbytes=message_size_bytes(hello))
+        world.run_for(5_000.0)
+        assert not lane.open
+        # The shared circuit itself survives for the legitimate lanes.
+        assert pool.open_circuit_count() == 1
+        assert "beta" in lpm_of(world, "alpha", "lfc").transport \
+            .authenticated()
+
+
+class TestTeardown:
+    def test_last_lane_out_closes_the_circuit(self, pooled):
+        world, lfc, ramon = pooled
+        lfc.create_process("a", host="beta",
+                           program=worker_spec(5_000.0))
+        ramon.create_process("b", host="beta",
+                             program=worker_spec(5_000.0))
+        assert pool_of(world, "alpha").lane_count() == 2
+        lfc.logout()
+        ramon.logout()
+        # LPMs linger for their time-to-live after logout; the circuit
+        # must survive exactly as long as any lane rides it.
+        world.run_for(world.config.lpm_time_to_live_ms + 100_000.0)
+        for host in ("alpha", "beta"):
+            pool = pool_of(world, host)
+            assert pool.lane_count() == 0
+            assert pool.open_circuit_count() == 0
+
+    def test_survivor_keeps_working_while_others_detach(self, pooled):
+        world, lfc, ramon = pooled
+        lfc.create_process("a", host="beta", program=spinner_spec(None))
+        ramon.create_process("b", host="beta",
+                             program=worker_spec(5_000.0))
+        ramon.logout()
+        world.run_for(world.config.lpm_time_to_live_ms + 100_000.0)
+        pool = pool_of(world, "alpha")
+        assert pool.open_circuit_count() == 1
+        assert pool.lane_count() == 1
+        # The surviving user's lane still carries traffic.
+        forest = lfc.snapshot()
+        assert len(forest) == 1
+
+
+class TestBreakFanOut:
+    def test_broken_circuit_invalidates_every_lanes_routes(self, pooled):
+        """Regression: when a shared circuit breaks, *each* lane's
+        ``MessageRouter.invalidate_via`` must fire — a miss leaves one
+        user's cached routes pointing through a dead peer."""
+        world, lfc, ramon = pooled
+        lfc.create_process("a", host="beta", program=spinner_spec(None))
+        ramon.create_process("b", host="beta", program=spinner_spec(None))
+        routers = [lpm_of(world, "alpha", user).router
+                   for user in ("lfc", "ramon")]
+        for router in routers:
+            router.cache.learn(["alpha", "beta", "delta"])
+            assert router.cache.route_to("delta") is not None
+        world.host("beta").crash()
+        world.run_for(60_000.0)
+        for user in ("lfc", "ramon"):
+            transport = lpm_of(world, "alpha", user).transport
+            assert "beta" not in transport.authenticated()
+        for router in routers:
+            assert router.cache.route_to("delta") is None
+        assert pool_of(world, "alpha").open_circuit_count() == 0
+
+
+class TestWireFormat:
+    def test_lane_absent_from_wire_when_unshared(self):
+        message = Message(kind=MsgKind.TOOL_PING, req_id=1,
+                          origin="alpha", user="lfc", payload={})
+        assert b'"lane"' not in encode(message)
+
+    def test_lane_round_trips_when_set(self):
+        message = Message(kind=MsgKind.GATHER, req_id=2,
+                          origin="alpha", user="lfc", payload={"x": 1},
+                          lane="lfc")
+        again = decode(encode(message))
+        assert again.lane == "lfc"
+        assert decode(encode(Message(kind=MsgKind.TOOL_PING, req_id=3,
+                                     origin="alpha", user="lfc",
+                                     payload={}))).lane is None
+
+    def test_lane_change_invalidates_encode_cache(self):
+        message = Message(kind=MsgKind.GATHER, req_id=4,
+                          origin="alpha", user="lfc", payload={})
+        unshared = encode(message)
+        message.lane = "lfc"
+        shared = encode(message)
+        assert unshared != shared
+        assert message_size_bytes(message) > 0

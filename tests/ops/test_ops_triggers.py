@@ -189,3 +189,61 @@ class TestLatching:
         report = run_checks(view)
         assert [r.name for r in report.failing] == ["trigger-alerts"]
         assert "ops:host-down" in report.failing[0].detail
+
+
+class TestLatencyRising:
+    """ops:latency-rising — trend detection over the sampler rings."""
+
+    @staticmethod
+    def _sampler():
+        from repro.perf import MetricsSampler
+        return MetricsSampler(capacity=16)
+
+    def test_not_installed_without_sampler(self):
+        clock, recorder, engine = make_engine()
+        install_ops_triggers(engine)
+        assert "ops:latency-rising" not in {t.name for t in engine.triggers}
+
+    def test_fires_on_upward_p99_trend(self):
+        clock, recorder, engine = make_engine()
+        sampler = self._sampler()
+        alerts = install_ops_triggers(engine, sampler=sampler,
+                                      rising_window_ms=60_000.0,
+                                      rising_min_rate_ms_per_s=1.0)
+        assert "ops:latency-rising" in {t.name for t in engine.triggers}
+        sampler.sample(0.0, latency={"rpc_rtt": {"p99_ms": 100.0}})
+        sampler.sample(10_000.0, latency={"rpc_rtt": {"p99_ms": 150.0}})
+        clock.now = 10_000.0
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:latency-rising" in fired(alerts)
+        assert "rising" in alerts[0].detail
+
+    def test_flat_or_falling_trend_stays_quiet(self):
+        clock, recorder, engine = make_engine()
+        sampler = self._sampler()
+        alerts = install_ops_triggers(engine, sampler=sampler)
+        sampler.sample(0.0, latency={"rpc_rtt": {"p99_ms": 200.0}})
+        sampler.sample(10_000.0, latency={"rpc_rtt": {"p99_ms": 180.0}})
+        clock.now = 10_000.0
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:latency-rising" not in fired(alerts)
+
+    def test_rate_floor_filters_wobble(self):
+        clock, recorder, engine = make_engine()
+        sampler = self._sampler()
+        alerts = install_ops_triggers(engine, sampler=sampler,
+                                      rising_min_rate_ms_per_s=5.0)
+        # +20ms over 10s = 2 ms/s: rising, but under the 5 ms/s floor.
+        sampler.sample(0.0, latency={"rpc_rtt": {"p99_ms": 100.0}})
+        sampler.sample(10_000.0, latency={"rpc_rtt": {"p99_ms": 120.0}})
+        clock.now = 10_000.0
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:latency-rising" not in fired(alerts)
+
+    def test_single_sample_is_not_a_trend(self):
+        clock, recorder, engine = make_engine()
+        sampler = self._sampler()
+        alerts = install_ops_triggers(engine, sampler=sampler)
+        sampler.sample(0.0, latency={"rpc_rtt": {"p99_ms": 500.0}})
+        recorder.record(TraceEventType.SIBLING_MESSAGE, host="alpha")
+        assert "ops:latency-rising" not in fired(alerts)

@@ -1,0 +1,79 @@
+"""The pmd's memoised authentication (multi-tenant login waves).
+
+A login wave dials every sibling pair through the home host's pmd;
+without memoisation each dial re-reads ``.rhosts`` and re-compares
+password files.  The cache is keyed on ``(user, origin_host,
+origin_user)`` and guarded by an *incarnation* tuple — the local
+filesystem and password-file versions plus the origin host's
+password-file version — so any change to an input of the decision
+invalidates the entry.  Only positive verdicts are memoised.
+"""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.perf import PERF
+
+
+@pytest.fixture
+def pmd(world):
+    return world.host("alpha").ensure_pmd()
+
+
+class TestMemoisation:
+    def test_repeat_check_hits_the_cache(self, pmd):
+        before = PERF.auth_cache_hits
+        pmd._authenticate("lfc", "beta", "lfc")
+        assert PERF.auth_cache_hits == before  # first check is a miss
+        pmd._authenticate("lfc", "beta", "lfc")
+        pmd._authenticate("lfc", "beta", "lfc")
+        assert PERF.auth_cache_hits == before + 2
+
+    def test_distinct_keys_do_not_collide(self, pmd):
+        before = PERF.auth_cache_hits
+        pmd._authenticate("lfc", "beta", "lfc")
+        pmd._authenticate("lfc", "gamma", "lfc")
+        pmd._authenticate("ramon", "beta", "ramon")
+        assert PERF.auth_cache_hits == before
+
+    def test_failures_are_not_memoised(self, world, pmd):
+        before = PERF.auth_cache_hits
+        with pytest.raises(AuthenticationError):
+            pmd._authenticate("lfc", "beta", "ramon")
+        # Permission granted after the failure must take effect at once:
+        # a memoised refusal would mask the fresh ``.rhosts`` grant.
+        world.host("alpha").fs.write_rhosts("lfc", ["beta ramon"])
+        pmd._authenticate("lfc", "beta", "ramon")
+        assert PERF.auth_cache_hits == before
+
+
+class TestInvalidation:
+    def test_local_password_file_change_invalidates(self, world, pmd):
+        pmd._authenticate("lfc", "beta", "lfc")
+        world.host("alpha").users.version += 1
+        before = PERF.auth_cache_hits
+        pmd._authenticate("lfc", "beta", "lfc")
+        assert PERF.auth_cache_hits == before  # re-checked, not served
+
+    def test_local_fs_change_invalidates(self, world, pmd):
+        pmd._authenticate("lfc", "beta", "lfc")
+        world.host("alpha").fs.write("/tmp/anything", "x")
+        before = PERF.auth_cache_hits
+        pmd._authenticate("lfc", "beta", "lfc")
+        assert PERF.auth_cache_hits == before
+
+    def test_origin_password_file_change_invalidates(self, world, pmd):
+        pmd._authenticate("lfc", "beta", "lfc")
+        world.host("beta").users.version += 1
+        before = PERF.auth_cache_hits
+        pmd._authenticate("lfc", "beta", "lfc")
+        assert PERF.auth_cache_hits == before
+
+    def test_revoked_rhosts_grant_is_honoured(self, world, pmd):
+        world.host("alpha").fs.write_rhosts("lfc", ["beta ramon"])
+        pmd._authenticate("lfc", "beta", "ramon")
+        # Revoking the grant bumps fs.version, so the cached positive
+        # verdict dies with it and the next check refuses.
+        world.host("alpha").fs.write_rhosts("lfc", [])
+        with pytest.raises(AuthenticationError):
+            pmd._authenticate("lfc", "beta", "ramon")

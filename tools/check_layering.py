@@ -95,7 +95,8 @@ LPM_MAX_LINES = 665
 
 #: The modules extracted out of the god-class.  None may import lpm.
 LAYER_MODULES = ("transport", "rpc", "router", "gather",
-                 "processtable", "toolservice", "spantree", "topology")
+                 "processtable", "toolservice", "spantree", "topology",
+                 "circuitpool")
 
 #: Modules that must not touch the socket layers (transport owns them).
 SOCKET_FREE_MODULES = ("rpc", "router", "gather", "spantree", "topology")
